@@ -1,0 +1,58 @@
+"""E1 — Theorem 4 upper bound.
+
+Claim: for graphs with p-splittability σ_p, strictly balanced k-colorings
+exist with maximum boundary cost ``O_p(σ_p(k^(−1/p)‖c‖_p + Δ_c))``.
+
+Measured: the pipeline's max boundary over families × k, its ratio to the
+RHS (O-constant 1, σ̂_p from the oracle), and Definition 1 compliance.
+Shape assertions: every run strictly balanced; ratios bounded and flat in k
+(no systematic growth — the hallmark of the k^(−1/p) scaling being right).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table, estimate_splittability, theorem4_rhs
+from repro.core import min_max_partition
+from repro.graphs import grid_graph, triangulated_mesh, unit_weights, zipf_weights
+from repro.separators import BestOfOracle, BfsOracle, SpectralOracle
+
+ORACLE = BestOfOracle([BfsOracle(), SpectralOracle()])
+KS = [2, 4, 8, 16, 32]
+
+
+def _family(name):
+    if name == "grid":
+        g = grid_graph(24, 24)
+    else:
+        g = triangulated_mesh(20, 20)
+    return g
+
+
+@pytest.mark.parametrize("family", ["grid", "mesh"])
+@pytest.mark.parametrize("wname", ["unit", "zipf"])
+def test_e01_theorem4_upper(benchmark, save_table, family, wname):
+    g = _family(family)
+    w = unit_weights(g) if wname == "unit" else zipf_weights(g, rng=0)
+    sigma = estimate_splittability(g, ORACLE, p=2.0, trials=8, rng=0).sigma_hat
+    table = Table(
+        f"E1 Theorem 4 upper bound — {family}, {wname} weights (n={g.n}, σ̂₂={sigma:.2f})",
+        ["k", "max ∂ (measured)", "σ̂₂·(k^-1/2·‖c‖₂+Δc)", "ratio", "strictly balanced"],
+        note="claim: ratio = O_p(1), flat in k",
+    )
+    ratios = []
+    for k in KS:
+        res = min_max_partition(g, k, weights=w, oracle=ORACLE)
+        rhs = theorem4_rhs(g, k, p=2.0, sigma_p=sigma)
+        ratio = res.max_boundary(g) / rhs
+        ratios.append(ratio)
+        table.add(k, res.max_boundary(g), rhs, ratio, res.is_strictly_balanced())
+        assert res.is_strictly_balanced()
+    save_table(table, "e01")
+    # shape: bounded constant, no blow-up across a 16× range of k
+    assert max(ratios) <= 8.0
+    assert max(ratios) / max(min(ratios), 1e-9) <= 6.0
+
+    benchmark.pedantic(
+        lambda: min_max_partition(g, 8, weights=w, oracle=ORACLE), rounds=1, iterations=1
+    )

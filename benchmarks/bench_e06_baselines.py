@@ -1,0 +1,85 @@
+"""E6 — §1 "Previous Work": no balance/boundary trade-off.
+
+Claims compared:
+* greedy bin packing: perfect balance, "huge boundary costs";
+* Simon–Teng recursive bisection: bounds only the *average* boundary;
+* KST: max-boundary bounds that degrade as balance tightens (``(1/ε)``-type
+  factors); this paper: strict balance at no asymptotic boundary cost.
+
+Measured: max/avg boundary and balance of all baselines on a boundary-
+heterogeneous instance (cost hot-spot grid) and on the climate mesh.
+Shape: greedy's boundary ≫ everyone else's; ours strictly balanced with
+max boundary within a small factor of the best relaxed-balance result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table, evaluate_coloring
+from repro.baselines import (
+    greedy_list_scheduling,
+    kst_partition,
+    multilevel_partition,
+    recursive_bisection,
+)
+from repro.apps import climate_workload
+from repro.core import min_max_partition
+from repro.graphs import grid_graph
+from repro.separators import BestOfOracle, BfsOracle, SpectralOracle
+
+ORACLE = BestOfOracle([BfsOracle(), SpectralOracle()])
+
+
+def _hotspot_grid():
+    g0 = grid_graph(24, 24)
+    mid = (g0.coords[g0.edges[:, 0]] + g0.coords[g0.edges[:, 1]]) / 2.0
+    d = np.linalg.norm(mid - np.array([4.0, 4.0]), axis=1)
+    return g0.with_costs(1.0 + 60.0 * np.exp(-((d / 4.0) ** 2)))
+
+
+@pytest.mark.parametrize("instance", ["hotspot-grid", "climate-mesh"])
+def test_e06_baselines(benchmark, save_table, instance):
+    if instance == "hotspot-grid":
+        g = _hotspot_grid()
+        w = np.ones(g.n)
+    else:
+        wl = climate_workload(18, 24, rng=3)
+        g, w = wl.graph, wl.weights
+    k = 8
+    runs = {
+        "greedy-LPT": lambda: greedy_list_scheduling(g, k, w),
+        "recursive-bisection": lambda: recursive_bisection(g, k, w, oracle=ORACLE),
+        "KST (eps=0)": lambda: kst_partition(g, k, w, oracle=ORACLE, eps=0.0),
+        "KST (eps=0.3)": lambda: kst_partition(g, k, w, oracle=ORACLE, eps=0.3),
+        "multilevel (5%)": lambda: multilevel_partition(g, k, w, imbalance=0.05, rng=0),
+        "min-max (ours)": lambda: min_max_partition(g, k, weights=w, oracle=ORACLE).coloring,
+    }
+    table = Table(
+        f"E6 baselines — {instance} (n={g.n}, k={k})",
+        ["method", "max ∂", "avg ∂", "total cut", "strictly balanced"],
+        note="ours: strict balance AND controlled max boundary simultaneously",
+    )
+    results = {}
+    for name, make in runs.items():
+        chi = make()
+        m = evaluate_coloring(g, chi, w)
+        results[name] = m
+        table.add(name, m.max_boundary, m.avg_boundary, m.total_cut, m.strictly_balanced)
+    save_table(table, "e06")
+
+    ours = results["min-max (ours)"]
+    assert ours.strictly_balanced
+    # greedy pays a large boundary factor over ours; on hot-spot cost
+    # structures a few huge edges dominate every class's max, so the robust
+    # signal is the average boundary (and the max still degrades)
+    assert results["greedy-LPT"].avg_boundary > 2.0 * ours.avg_boundary
+    assert results["greedy-LPT"].max_boundary > 1.2 * ours.max_boundary
+    # ours within a small factor of the best relaxed-balance competitor
+    best_relaxed = min(
+        results["multilevel (5%)"].max_boundary,
+        results["KST (eps=0.3)"].max_boundary,
+        results["recursive-bisection"].max_boundary,
+    )
+    assert ours.max_boundary <= 2.5 * best_relaxed
+
+    benchmark.pedantic(runs["min-max (ours)"], rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""E8 — running times: Theorem 4's ``O(t(|G|)·log k)`` and GridSplit's
+``O(m log φ)``.
+
+Measured: wall-clock of the full pipeline across n (fixed k) and across k
+(fixed n), and of GridSplit across φ (fixed grid).
+Shape: pipeline time grows ≈ linearly in n (within an n^1.5 tolerance — the
+oracle's sort/eigen components are slightly superlinear) and sublinearly in
+k; GridSplit time grows ≈ linearly in log φ.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.core import min_max_partition
+from repro.graphs import fluctuation_costs, grid_graph, zipf_weights
+from repro.separators import BestOfOracle, BfsOracle, grid_split
+
+ORACLE = BestOfOracle([BfsOracle()])
+
+
+def _time(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def test_e08_runtime(benchmark, save_table):
+    # --- scaling in n (k fixed) -------------------------------------------
+    t_n = Table(
+        "E8 runtime vs n — full pipeline, k=8",
+        ["n", "time (s)", "time / n (µs)"],
+        note="Theorem 4: O(t(|G|) log k) with t linear for the BFS oracle",
+    )
+    times_n = []
+    sizes = [16, 24, 34, 48]
+    for side in sizes:
+        g = grid_graph(side, side)
+        w = zipf_weights(g, rng=0)
+        dt = _time(lambda: min_max_partition(g, 8, weights=w, oracle=ORACLE))
+        times_n.append((g.n, dt))
+        t_n.add(g.n, dt, dt / g.n * 1e6)
+    save_table(t_n, "e08")
+    n0, t0 = times_n[0]
+    n1, t1 = times_n[-1]
+    growth = np.log(t1 / t0) / np.log(n1 / n0)
+    assert growth <= 1.8, f"superlinear runtime exponent {growth:.2f}"
+
+    # --- scaling in k (n fixed) -------------------------------------------
+    t_k = Table("E8 runtime vs k — 34×34 grid", ["k", "time (s)"])
+    g = grid_graph(34, 34)
+    w = zipf_weights(g, rng=0)
+    times_k = []
+    for k in [2, 8, 32]:
+        dt = _time(lambda: min_max_partition(g, k, weights=w, oracle=ORACLE))
+        times_k.append(dt)
+        t_k.add(k, dt)
+    save_table(t_k, "e08")
+    # log k scaling: 16× more colors should cost far less than 16× the time
+    assert times_k[-1] <= 8.0 * times_k[0] + 0.5
+
+    # --- GridSplit: O(m log φ) --------------------------------------------
+    t_phi = Table("E8 GridSplit runtime vs φ — 40×40 grid", ["φ", "time (s)", "time/log₂(φ+2) (ms)"])
+    rng = np.random.default_rng(1)
+    for phi in [1.0, 1e2, 1e4, 1e6]:
+        g = grid_graph(40, 40)
+        g = g.with_costs(fluctuation_costs(g, phi, rng=rng))
+        wu = np.ones(g.n)
+        dt = _time(lambda: grid_split(g, wu, g.n / 2.0))
+        t_phi.add(f"{phi:.0e}", dt, dt / np.log2(phi + 2) * 1e3)
+    save_table(t_phi, "e08")
+
+    g = grid_graph(24, 24)
+    w = zipf_weights(g, rng=0)
+    benchmark.pedantic(
+        lambda: min_max_partition(g, 8, weights=w, oracle=ORACLE), rounds=2, iterations=1
+    )

@@ -1,0 +1,61 @@
+"""E11 — §6 fluctuation dependence: ``log^(1/d) φ``, not ``φ``.
+
+Claim: GridSplit's cost normalized by ``‖c‖_p`` grows like
+``d·log^(1/d)(φ+1)``; the naive reduction (treat costs as unit after scaling
+by ``‖c‖∞``) pays ``σ_p(G, 1)·φ`` — exponentially worse in ``log φ``.
+
+Measured: normalized cost vs φ for d = 2, 3 against both curves.
+Shape: measured/log-curve stays bounded (≈ constant); measured/naive-curve
+tends to 0 as φ grows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.graphs import fluctuation_costs, grid_graph
+from repro.separators import grid_split
+
+SHAPES = {2: (24, 24), 3: (9, 9, 9)}
+
+
+@pytest.mark.parametrize("d", [2, 3])
+def test_e11_fluctuation(benchmark, save_table, d):
+    rng = np.random.default_rng(d)
+    p = d / (d - 1)
+    table = Table(
+        f"E11 fluctuation sweep — {d}-d grid {SHAPES[d]}, cost/‖c‖_p vs φ",
+        ["φ", "cut/‖c‖_p", "d·log^(1/d)(φ+1)", "ratio (log curve)", "naive φ-curve", "ratio (naive)"],
+        note="claim: flat against the log curve, vanishing against the naive curve",
+    )
+    log_ratios = []
+    naive_ratios = []
+    phis = [1.0, 10.0, 1e2, 1e3, 1e4, 1e6]
+    trials = 3
+    for phi in phis:
+        vals = []
+        for t in range(trials):
+            g = grid_graph(*SHAPES[d])
+            g = g.with_costs(fluctuation_costs(g, phi, rng=rng))
+            w = np.ones(g.n)
+            u = grid_split(g, w, g.n / 2.0)
+            from repro._util import pnorm
+
+            vals.append(g.boundary_cost(u) / pnorm(g.costs, p))
+        norm_cost = float(np.mean(vals))
+        log_curve = d * (np.log2(phi + 1.0) ** (1.0 / d))
+        naive_curve = max(phi, 1.0)  # σ_p(G,1)·φ up to the unit-cost constant
+        log_ratios.append(norm_cost / log_curve)
+        naive_ratios.append(norm_cost / naive_curve)
+        table.add(f"{phi:.0e}", norm_cost, log_curve, norm_cost / log_curve,
+                  naive_curve, norm_cost / naive_curve)
+    save_table(table, "e11")
+    # flat against the log^(1/d) curve: bounded, no trend blow-up
+    assert max(log_ratios) <= 2.0
+    # the naive bound becomes irrelevant for large φ
+    assert naive_ratios[-1] < 0.05 * naive_ratios[0] + 1e-12
+
+    g = grid_graph(*SHAPES[d])
+    g = g.with_costs(fluctuation_costs(g, 1e4, rng=rng))
+    w = np.ones(g.n)
+    benchmark(lambda: grid_split(g, w, g.n / 2.0))

@@ -1,0 +1,93 @@
+"""E13 — ablations of the design choices DESIGN.md calls out.
+
+Not a paper claim; an engineering audit of the reproduction's own choices:
+
+* oracle choice (random / index / BFS / Fiedler / GridSplit / portfolio),
+* recursive-bisection seeding of Lemma 6 on/off,
+* the window-preserving FM post-pass on/off.
+
+Shape assertions: structured oracles beat unstructured ones; seeding and FM
+never hurt (within tolerance) and help substantially from cold starts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.core import DecompositionParams, min_max_partition
+from repro.graphs import grid_graph, zipf_weights
+from repro.separators import (
+    BestOfOracle,
+    BfsOracle,
+    GridOracle,
+    IndexOracle,
+    RandomOracle,
+    SpectralOracle,
+)
+
+
+def test_e13_oracle_ablation(benchmark, save_table):
+    g = grid_graph(20, 20)
+    w = zipf_weights(g, rng=0)
+    k = 8
+    oracles = {
+        "random": RandomOracle(seed=0),
+        "index": IndexOracle(),
+        "BFS": BfsOracle(),
+        "Fiedler": SpectralOracle(),
+        "GridSplit": GridOracle(),
+        "portfolio": BestOfOracle([BfsOracle(), SpectralOracle(), GridOracle()]),
+    }
+    table = Table(
+        "E13 oracle ablation — 20×20 grid, zipf weights, k=8",
+        ["oracle", "max ∂", "avg ∂", "strictly balanced"],
+    )
+    scores = {}
+    for name, oracle in oracles.items():
+        res = min_max_partition(g, k, weights=w, oracle=oracle)
+        scores[name] = res.max_boundary(g)
+        table.add(name, res.max_boundary(g), res.avg_boundary(g), res.is_strictly_balanced())
+        assert res.is_strictly_balanced()
+    save_table(table, "e13")
+    assert scores["portfolio"] <= scores["random"]
+    assert min(scores["BFS"], scores["Fiedler"]) <= scores["random"]
+
+    benchmark.pedantic(
+        lambda: min_max_partition(g, k, weights=w, oracle=oracles["portfolio"]),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_e13_pipeline_ablation(benchmark, save_table):
+    g = grid_graph(20, 20)
+    w = zipf_weights(g, rng=1)
+    k = 8
+    oracle = BestOfOracle([BfsOracle()])
+    variants = {
+        "full pipeline": DecompositionParams(),
+        "no seeding": DecompositionParams(seed_with_bisection=False),
+        "no FM": DecompositionParams(final_refine=False),
+        "no seeding, no FM": DecompositionParams(seed_with_bisection=False, final_refine=False),
+    }
+    table = Table(
+        "E13 pipeline ablation — seeding and FM post-pass",
+        ["variant", "max ∂", "strictly balanced"],
+        note="both knobs live inside the theory (Lemma 9 takes any input "
+        "coloring; FM preserves the window) and only move constants",
+    )
+    scores = {}
+    for name, params in variants.items():
+        res = min_max_partition(g, k, weights=w, oracle=oracle, params=params)
+        scores[name] = res.max_boundary(g)
+        table.add(name, res.max_boundary(g), res.is_strictly_balanced())
+        assert res.is_strictly_balanced()
+    save_table(table, "e13")
+    # both knobs help markedly from the cold start
+    assert scores["full pipeline"] <= 0.8 * scores["no seeding, no FM"]
+    # and never hurt by more than noise
+    assert scores["full pipeline"] <= scores["no FM"] + 1e-9
+
+    benchmark.pedantic(
+        lambda: min_max_partition(g, k, weights=w, oracle=oracle), rounds=1, iterations=1
+    )

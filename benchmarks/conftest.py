@@ -1,0 +1,31 @@
+"""Shared helpers for the experiment benchmarks (E1-E12).
+
+Every benchmark prints its experiment table (visible with ``-s``) and saves
+it under ``benchmarks/out/`` so EXPERIMENTS.md can quote results verbatim.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def save_table():
+    """Print a Table and persist its rendering to benchmarks/out/<name>.txt."""
+
+    def _save(table, name: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        text = table.render()
+        print("\n" + text)
+        path = OUT_DIR / f"{name}.txt"
+        existing = path.read_text() if path.exists() else ""
+        if f"== {table.title} ==" not in existing:
+            path.write_text(existing + text + "\n\n")
+
+    # fresh file per session: clear on first use of each name
+    _save.written = set()
+    return _save

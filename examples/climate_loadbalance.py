@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Climate-simulation load balancing (the paper's §1 motivating example).
+
+A triangulated surface is simulated on k machines; per-region job times vary
+with day/night bands and storm hot spots, and coupling costs are storm-
+amplified.  Compares makespans of graph-oblivious greedy scheduling,
+edge-cut-style recursive bisection, and the paper's min-max boundary
+decomposition under increasing communication cost.
+
+Run:  python examples/climate_loadbalance.py
+"""
+
+from repro.analysis import Table
+from repro.apps import MachineModel, climate_workload, evaluate_partitioners
+from repro.baselines import greedy_list_scheduling, recursive_bisection
+from repro.core import min_max_partition
+
+
+def main() -> None:
+    wl = climate_workload(rows=24, cols=36, rng=7)
+    g, w = wl.graph, wl.weights
+    k = 8
+
+    partitioners = {
+        "greedy-LPT": lambda: greedy_list_scheduling(g, k, w),
+        "recursive-bisection": lambda: recursive_bisection(g, k, w),
+        "min-max (ours)": lambda: min_max_partition(g, k, weights=w).coloring,
+    }
+
+    for beta in [0.0, 0.5, 2.0]:
+        model = MachineModel(k=k, alpha=1.0, beta=beta)
+        table = Table(
+            f"climate workload ({g.n} regions, k={k}, comm weight β={beta})",
+            ["partitioner", "makespan", "efficiency", "max ∂", "strict balance"],
+        )
+        for outcome in evaluate_partitioners(g, w, model, partitioners):
+            table.add(
+                outcome.name,
+                outcome.report.makespan,
+                f"{outcome.report.efficiency:.0%}",
+                outcome.max_boundary,
+                outcome.strictly_balanced,
+            )
+        table.show()
+
+    print("Takeaway: with β=0 greedy wins (balance is everything); as soon as")
+    print("communication matters, boundary-aware partitions dominate — and the")
+    print("min-max decomposition keeps *every* machine's communication small,")
+    print("not just the average.")
+
+
+if __name__ == "__main__":
+    main()

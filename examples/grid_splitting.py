@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""§6 GridSplit: separators for grids with arbitrary edge costs.
+
+Demonstrates Theorem 19: the splitting-set cost of a d-dimensional grid
+grows like log^(1/d)(φ) in the cost fluctuation φ — not like φ, which is
+what the naive reduction (scale everything to unit costs) would pay.
+
+Run:  python examples/grid_splitting.py
+"""
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.graphs import fluctuation_costs, grid_graph
+from repro.separators import (
+    GridSplitTrace,
+    check_split_window,
+    grid_split,
+    is_monotone,
+    theorem19_bound,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    table = Table(
+        "GridSplit on a 32×32 grid, half-weight splitting value",
+        ["fluctuation φ", "cut cost", "Theorem 19 RHS", "ratio", "levels", "monotone"],
+        note="ratio = measured / RHS with O-constant 1; flatness in φ after "
+        "normalizing by ‖c‖_p is the log^(1/d) φ claim",
+    )
+    for phi in [1.0, 10.0, 1e2, 1e4, 1e6]:
+        g = grid_graph(32, 32)
+        g = g.with_costs(fluctuation_costs(g, phi, rng=rng))
+        w = np.ones(g.n)
+        trace = GridSplitTrace()
+        u = grid_split(g, w, g.n / 2.0, trace=trace)
+        assert check_split_window(w, g.n / 2.0, u)
+        cost = g.boundary_cost(u)
+        bound = theorem19_bound(g)
+        table.add(
+            f"{phi:.0e}",
+            cost,
+            bound,
+            cost / bound,
+            trace.levels,
+            is_monotone(g.coords, u),
+        )
+    table.show()
+
+    # 3-d grid: p = d/(d−1) = 3/2
+    table3 = Table(
+        "GridSplit on a 12×12×12 grid (p = 3/2)",
+        ["fluctuation φ", "cut cost", "Theorem 19 RHS", "ratio"],
+    )
+    for phi in [1.0, 1e2, 1e4]:
+        g = grid_graph(12, 12, 12)
+        g = g.with_costs(fluctuation_costs(g, phi, rng=rng))
+        w = np.ones(g.n)
+        u = grid_split(g, w, g.n / 2.0)
+        cost = g.boundary_cost(u)
+        bound = theorem19_bound(g)
+        table3.add(f"{phi:.0e}", cost, bound, cost / bound)
+    table3.show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Oracle comparison: how splitting-set quality drives Theorem 4's constant.
+
+Theorem 4 is parametric in the splitting oracle; its constant is the
+oracle's splittability σ_p.  This example estimates σ̂₂ for each oracle
+(Definition 3's sup, sampled over subgraphs × hostile weights), then shows
+the downstream effect on the final partition's max boundary — including the
+Definition 2 supremum over weights via adversarial search.
+
+Run:  python examples/oracle_comparison.py
+"""
+
+from repro.analysis import Table, estimate_decomposition_cost, estimate_splittability
+from repro.core import min_max_partition
+from repro.graphs import grid_graph
+from repro.separators import (
+    BestOfOracle,
+    BfsOracle,
+    GridOracle,
+    IndexOracle,
+    RandomOracle,
+    SpectralOracle,
+)
+
+
+def main() -> None:
+    g = grid_graph(20, 20)
+    k = 8
+    oracles = {
+        "random order": RandomOracle(seed=0),
+        "index order": IndexOracle(),
+        "BFS sweep": BfsOracle(),
+        "Fiedler sweep": SpectralOracle(),
+        "GridSplit": GridOracle(),
+        "best-of portfolio": BestOfOracle([BfsOracle(), SpectralOracle(), GridOracle()]),
+    }
+    table = Table(
+        f"oracle quality on a 20×20 grid (k={k})",
+        ["oracle", "σ̂₂ (sampled)", "max ∂ (unit w)", "max ∂ (sup over weights)"],
+        note="σ̂₂ = sampled splittability; last column: adversarial weight "
+        "search over hostile families (Definition 2's sup)",
+    )
+    for name, oracle in oracles.items():
+        sigma = estimate_splittability(g, oracle, p=2.0, trials=8, rng=0).sigma_hat
+        res = min_max_partition(g, k, oracle=oracle)
+        assert res.is_strictly_balanced()
+        adv = estimate_decomposition_cost(g, k, oracle=oracle, perturbation_rounds=1, rng=0)
+        table.add(name, sigma, res.max_boundary(g), adv.worst_max_boundary)
+    table.show()
+    print("Better σ̂₂ (cheaper splitting sets) translates directly into a")
+    print("smaller min-max decomposition cost — Theorem 4 in action.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandbox this repo is developed in has no network access and no `wheel`
+package, so PEP-517 editable installs (which build a wheel) fail.  Keeping a
+setup.py lets `pip install -e . --no-build-isolation` fall back to the
+classic `setup.py develop` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

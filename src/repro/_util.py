@@ -1,0 +1,138 @@
+"""Shared low-level utilities used across the repro package.
+
+Everything in here is intentionally dependency-light (numpy only) so that
+substrate modules can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "as_rng",
+    "pnorm",
+    "conjugate_exponent",
+    "as_float_array",
+    "as_index_array",
+    "mask_from_indices",
+    "indices_from_mask",
+    "safe_max",
+    "cumulative_prefix_target",
+]
+
+
+def as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Normalize ``rng`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (fresh nondeterministic generator).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def pnorm(values: np.ndarray, p: float) -> float:
+    """``‖f‖_p`` for a non-negative vector ``f``; ``p = inf`` gives the max.
+
+    Empty vectors have norm 0 for every ``p``, matching the paper's
+    conventions (sums over empty sets vanish).
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        return 0.0
+    if np.isinf(p):
+        return float(np.max(v))
+    if p == 1.0:
+        return float(np.sum(v))
+    return float(np.sum(v**p) ** (1.0 / p))
+
+
+def conjugate_exponent(p: float) -> float:
+    """The Hölder conjugate ``q`` with ``1/p + 1/q = 1``.
+
+    ``p = 1`` maps to ``inf`` and vice versa.
+    """
+    if p <= 1.0:
+        if p == 1.0:
+            return np.inf
+        raise ValueError(f"p must be >= 1, got {p}")
+    if np.isinf(p):
+        return 1.0
+    return p / (p - 1.0)
+
+
+def as_float_array(values, n: int | None = None, name: str = "values") -> np.ndarray:
+    """Coerce ``values`` to a 1-d non-negative float64 array of length ``n``.
+
+    ``values`` may be a scalar (broadcast to length ``n``), a sequence, or an
+    ndarray.  Raises on negative entries: the paper works with non-negative
+    measures throughout.
+    """
+    if np.isscalar(values):
+        if n is None:
+            raise ValueError(f"{name}: scalar input requires explicit length n")
+        arr = np.full(n, float(values), dtype=np.float64)
+    else:
+        arr = np.asarray(values, dtype=np.float64).ravel()
+        if n is not None and arr.size != n:
+            raise ValueError(f"{name}: expected length {n}, got {arr.size}")
+    if arr.size and float(np.min(arr)) < 0.0:
+        raise ValueError(f"{name}: negative entries are not allowed")
+    return arr
+
+
+def as_index_array(indices) -> np.ndarray:
+    """Coerce ``indices`` into a 1-d int64 index array (possibly empty)."""
+    arr = np.asarray(indices, dtype=np.int64).ravel()
+    return arr
+
+
+def mask_from_indices(indices, n: int) -> np.ndarray:
+    """Boolean membership mask of length ``n`` for ``indices``."""
+    mask = np.zeros(n, dtype=bool)
+    idx = as_index_array(indices)
+    if idx.size:
+        mask[idx] = True
+    return mask
+
+
+def indices_from_mask(mask: np.ndarray) -> np.ndarray:
+    """Int64 indices of the True entries of ``mask``."""
+    return np.flatnonzero(np.asarray(mask, dtype=bool)).astype(np.int64)
+
+
+def safe_max(values: Iterable[float], default: float = 0.0) -> float:
+    """``max`` that returns ``default`` on empty input."""
+    vals = list(values)
+    return max(vals) if vals else default
+
+
+def cumulative_prefix_target(sorted_weights: np.ndarray, target: float) -> int:
+    """Length of the prefix of ``sorted_weights`` whose sum is nearest ``target``.
+
+    This is the core of every prefix splitter: if weights are scanned in any
+    order, the prefix sums increase in steps of at most ``‖w‖∞``, so the
+    nearest achievable prefix sum is within ``‖w‖∞ / 2`` of ``target``
+    (clamped to ``[0, ‖w‖₁]``) — exactly Definition 3's splitting window.
+
+    Returns the number of elements to take (0..len).
+    """
+    w = np.asarray(sorted_weights, dtype=np.float64)
+    if w.size == 0:
+        return 0
+    cum = np.cumsum(w)
+    total = float(cum[-1])
+    t = min(max(target, 0.0), total)
+    # first index with cum[i] >= t
+    i = int(np.searchsorted(cum, t, side="left"))
+    if i >= w.size:
+        return int(w.size)
+    below = float(cum[i - 1]) if i > 0 else 0.0
+    above = float(cum[i])
+    # choose the closer of the two bracketing prefixes
+    if t - below <= above - t:
+        return i
+    return i + 1

@@ -1,0 +1,114 @@
+"""Theoretical bound evaluators and empirical splittability estimation.
+
+The true ``σ_p(G, c)`` (Definition 3) is a supremum over all induced
+subgraphs, weights, and splitting values — uncomputable exactly.
+``estimate_splittability`` samples that supremum for a *given oracle*: the
+observed max of ``∂_W U / ‖c|W‖_p`` is the constant the oracle actually
+achieves, which is what enters Theorem 4's RHS for our pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_rng, pnorm
+from ..graphs.graph import Graph
+
+__all__ = [
+    "theorem4_rhs",
+    "theorem5_rhs",
+    "estimate_splittability",
+    "SplittabilityEstimate",
+]
+
+
+def theorem4_rhs(g: Graph, k: int, p: float, sigma_p: float = 1.0) -> float:
+    """``σ_p · (k^(−1/p)·‖c‖_p + Δ_c)`` with O-constant 1."""
+    return sigma_p * (k ** (-1.0 / p) * g.cost_norm(p) + g.max_cost_degree())
+
+
+def theorem5_rhs(g: Graph, k: int, p: float) -> float:
+    """``‖c‖_p / k^(1/p) + ‖c‖∞`` with O-constant 1 (well-behaved case)."""
+    return g.cost_norm(p) / (k ** (1.0 / p)) + (float(g.costs.max()) if g.m else 0.0)
+
+
+@dataclass(frozen=True)
+class SplittabilityEstimate:
+    """Sampled estimate of an oracle's splittability constant."""
+
+    sigma_hat: float
+    samples: int
+    worst_ratio_full_graph: float
+
+    def __float__(self) -> float:  # pragma: no cover - convenience
+        return self.sigma_hat
+
+
+def estimate_splittability(
+    g: Graph,
+    oracle,
+    p: float,
+    trials: int = 30,
+    rng=None,
+) -> SplittabilityEstimate:
+    """Empirical ``σ̂_p``: max over sampled (subgraph, weights, value) of
+    ``∂_W U / ‖c|W‖_p`` for the oracle's splitting sets.
+
+    Samples include the full graph with hostile weight profiles (uniform,
+    exponential, single-heavy) and random induced subgraphs (BFS balls and
+    Bernoulli vertex samples), each with random splitting values.
+    """
+    gen = as_rng(rng)
+    worst = 0.0
+    worst_full = 0.0
+    samples = 0
+    n = g.n
+    if n == 0 or g.m == 0:
+        return SplittabilityEstimate(0.0, 0, 0.0)
+
+    def weight_profiles(size: int):
+        yield np.ones(size)
+        yield gen.exponential(1.0, size) + 1e-6
+        w = np.ones(size)
+        w[int(gen.integers(size))] = size / 4.0
+        yield w
+
+    def try_case(sub: Graph, host_norm_p: float) -> float:
+        nonlocal samples
+        best = 0.0
+        if sub.m == 0:
+            return 0.0
+        denom = pnorm(sub.costs, p)
+        if denom <= 0:
+            return 0.0
+        for w in weight_profiles(sub.n):
+            target = float(gen.uniform(0.2, 0.8)) * float(w.sum())
+            u = oracle.split(sub, w, target)
+            cost = sub.boundary_cost(u)
+            samples += 1
+            best = max(best, cost / denom)
+        return best
+
+    # full graph
+    worst_full = try_case(g, g.cost_norm(p))
+    worst = worst_full
+    # random induced subgraphs
+    from ..graphs.components import bfs_levels
+
+    for _ in range(max(0, trials)):
+        if gen.random() < 0.5:
+            # BFS ball around a random center
+            center = int(gen.integers(n))
+            radius = int(gen.integers(1, max(2, int(np.sqrt(n)))))
+            lev = bfs_levels(g, [center])
+            members = np.flatnonzero((lev >= 0) & (lev <= radius))
+        else:
+            keep = gen.random(n) < float(gen.uniform(0.3, 0.9))
+            members = np.flatnonzero(keep)
+        if members.size < 3:
+            continue
+        sub = g.subgraph(members).graph
+        worst = max(worst, try_case(sub, 0.0))
+    return SplittabilityEstimate(sigma_hat=worst, samples=samples, worst_ratio_full_graph=worst_full)

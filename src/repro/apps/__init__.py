@@ -1,0 +1,14 @@
+"""Application substrate: machine model + climate workloads (§1)."""
+
+from .machine import MachineModel, ScheduleReport
+from .scheduler import PartitionerOutcome, evaluate_partitioners
+from .workloads import ClimateWorkload, climate_workload
+
+__all__ = [
+    "MachineModel",
+    "ScheduleReport",
+    "ClimateWorkload",
+    "climate_workload",
+    "PartitionerOutcome",
+    "evaluate_partitioners",
+]

@@ -1,0 +1,79 @@
+"""Simulated parallel machine model (§1's load-balancing motivation).
+
+A schedule assigns every job (vertex) to one of ``k`` identical machines.
+Machine ``i``'s completion time is
+
+    ``T_i = α · w(χ⁻¹(i)) + β · c(δ(χ⁻¹(i)))``
+
+— compute time proportional to the assigned weight plus communication
+overhead proportional to the boundary cost of its job set (every cut edge's
+dependency must be resolved over the interconnect by *both* endpoints'
+machines, exactly the paper's cost model).  The makespan is ``max_i T_i``;
+it is monotone in (weight, boundary) per machine, which is all the paper's
+motivation needs from a machine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.coloring import Coloring
+from ..graphs.graph import Graph
+
+__all__ = ["MachineModel", "ScheduleReport"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """``k`` identical machines with compute rate ``alpha`` and
+    per-unit-communication overhead ``beta``."""
+
+    k: int
+    alpha: float = 1.0
+    beta: float = 1.0
+
+    def machine_times(self, g: Graph, coloring: Coloring, weights: np.ndarray) -> np.ndarray:
+        """Per-machine completion times ``T_i``."""
+        if coloring.k != self.k:
+            raise ValueError("coloring and machine model disagree on k")
+        w = np.asarray(weights, dtype=np.float64)
+        compute = self.alpha * coloring.class_weights(w)
+        comm = self.beta * coloring.boundary_per_class(g)
+        return compute + comm
+
+    def makespan(self, g: Graph, coloring: Coloring, weights: np.ndarray) -> float:
+        """``max_i T_i``."""
+        times = self.machine_times(g, coloring, weights)
+        return float(times.max()) if times.size else 0.0
+
+    def report(self, g: Graph, coloring: Coloring, weights: np.ndarray) -> "ScheduleReport":
+        w = np.asarray(weights, dtype=np.float64)
+        compute = self.alpha * coloring.class_weights(w)
+        comm = self.beta * coloring.boundary_per_class(g)
+        times = compute + comm
+        ideal = self.alpha * float(w.sum()) / self.k
+        return ScheduleReport(
+            makespan=float(times.max()) if times.size else 0.0,
+            ideal_makespan=ideal,
+            compute_max=float(compute.max()) if compute.size else 0.0,
+            comm_max=float(comm.max()) if comm.size else 0.0,
+            comm_total=float(comm.sum()),
+        )
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Makespan decomposition for one schedule."""
+
+    makespan: float
+    ideal_makespan: float
+    compute_max: float
+    comm_max: float
+    comm_total: float
+
+    @property
+    def efficiency(self) -> float:
+        """Ideal (communication-free, perfectly balanced) over achieved."""
+        return self.ideal_makespan / self.makespan if self.makespan > 0 else 1.0

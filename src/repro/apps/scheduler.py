@@ -1,0 +1,50 @@
+"""Partitioner → schedule evaluation harness (experiment E12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.coloring import Coloring
+from ..graphs.graph import Graph
+from .machine import MachineModel, ScheduleReport
+
+__all__ = ["evaluate_partitioners", "PartitionerOutcome"]
+
+
+@dataclass(frozen=True)
+class PartitionerOutcome:
+    """Evaluation of one partitioner on one workload."""
+
+    name: str
+    report: ScheduleReport
+    max_boundary: float
+    avg_boundary: float
+    balance_margin: float
+    strictly_balanced: bool
+
+
+def evaluate_partitioners(
+    g: Graph,
+    weights: np.ndarray,
+    model: MachineModel,
+    partitioners: dict[str, Callable[[], Coloring]],
+) -> list[PartitionerOutcome]:
+    """Run each named partitioner and score its schedule on the model."""
+    out: list[PartitionerOutcome] = []
+    w = np.asarray(weights, dtype=np.float64)
+    for name, make in partitioners.items():
+        coloring = make()
+        out.append(
+            PartitionerOutcome(
+                name=name,
+                report=model.report(g, coloring, w),
+                max_boundary=coloring.max_boundary(g),
+                avg_boundary=coloring.avg_boundary(g),
+                balance_margin=coloring.balance_margin(w),
+                strictly_balanced=coloring.is_strictly_balanced(w, tol=1e-7),
+            )
+        )
+    return out

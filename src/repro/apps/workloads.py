@@ -1,0 +1,76 @@
+"""Climate-simulation style workloads (§1's running example).
+
+The paper motivates the problem with large-scale climate simulation: the
+surface is triangulated into regions; per-region simulation times differ
+"tremendously depending on day-time, desired accuracy, et cetera", and
+coupling strengths between neighboring regions differ similarly.  These
+generators produce that shape: a triangulated mesh (optionally torus-wrapped
+to remove boundary effects), day/night-banded job weights with hot spots,
+and coupling costs that decay away from storm centers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_rng
+from ..graphs.generators import triangulated_mesh
+from ..graphs.graph import Graph
+
+__all__ = ["ClimateWorkload", "climate_workload"]
+
+
+@dataclass(frozen=True)
+class ClimateWorkload:
+    """A climate-style instance: mesh + job weights + coupling costs."""
+
+    graph: Graph
+    weights: np.ndarray
+    rows: int
+    cols: int
+
+    @property
+    def n_jobs(self) -> int:
+        return self.graph.n
+
+
+def climate_workload(
+    rows: int,
+    cols: int,
+    day_night_ratio: float = 4.0,
+    hot_spots: int = 3,
+    hot_spot_boost: float = 8.0,
+    coupling_decay: float = 0.08,
+    rng=None,
+) -> ClimateWorkload:
+    """Generate a ``rows×cols`` triangulated surface workload.
+
+    * weights: a longitudinal day/night band (factor ``day_night_ratio``)
+      plus Gaussian "storm" hot spots (factor ``hot_spot_boost``) and
+      multiplicative noise — heavy-tailed like real per-region step times;
+    * costs: base coupling 1, amplified near the storm centers (neighboring
+      storm cells exchange much more data) with noise.
+    """
+    gen = as_rng(rng)
+    g = triangulated_mesh(rows, cols)
+    coords = g.coords.astype(np.float64)
+    # day/night: smooth longitudinal modulation
+    phase = 2.0 * np.pi * coords[:, 1] / max(cols, 1)
+    w = 1.0 + (day_night_ratio - 1.0) * 0.5 * (1.0 + np.sin(phase))
+    # storms
+    centers = coords[gen.choice(g.n, size=min(hot_spots, g.n), replace=False)]
+    sigma = max(rows, cols) / 8.0
+    for cpt in centers:
+        d2 = np.sum((coords - cpt) ** 2, axis=1)
+        w += hot_spot_boost * np.exp(-d2 / (2.0 * sigma**2))
+    w *= gen.lognormal(0.0, 0.25, g.n)
+    # coupling costs: storm-amplified, distance-decayed
+    mid = (coords[g.edges[:, 0]] + coords[g.edges[:, 1]]) / 2.0
+    c = np.ones(g.m)
+    for cpt in centers:
+        d = np.linalg.norm(mid - cpt, axis=1)
+        c += 5.0 * np.exp(-coupling_decay * d)
+    c *= gen.lognormal(0.0, 0.2, g.m)
+    return ClimateWorkload(graph=g.with_costs(c), weights=w, rows=rows, cols=cols)

@@ -1,0 +1,17 @@
+"""Baseline partitioners the paper compares against (§1 Previous Work)."""
+
+from .greedy import greedy_list_scheduling, lpt_partition, random_balanced_partition
+from .kst import kst_partition
+from .multilevel import contract, heavy_edge_matching, multilevel_partition
+from .recursive_bisection import recursive_bisection
+
+__all__ = [
+    "greedy_list_scheduling",
+    "lpt_partition",
+    "random_balanced_partition",
+    "recursive_bisection",
+    "kst_partition",
+    "multilevel_partition",
+    "heavy_edge_matching",
+    "contract",
+]

@@ -1,0 +1,63 @@
+"""Balance predicates (Definitions 1, §3, §4).
+
+* **strictly balanced** (Definition 1): every class weight within
+  ``(1 − 1/k)·‖w‖∞`` of the average ``‖w‖₁/k`` — the headline guarantee,
+  matching greedy list scheduling's window exactly;
+* **almost strictly balanced** (§4): within ``2·‖w‖∞`` of the average;
+* **weakly balanced** (§3): max class ``= O(‖Φ‖_avg + ‖Φ‖∞)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "strict_balance_margin",
+    "is_strictly_balanced",
+    "is_almost_strictly_balanced",
+    "weak_balance_ratio",
+    "max_deviation",
+]
+
+
+def max_deviation(class_weights: np.ndarray, total: float, k: int) -> float:
+    """``max_i |w(χ⁻¹(i)) − ‖w‖₁/k|``."""
+    cw = np.asarray(class_weights, dtype=np.float64)
+    avg = total / k
+    return float(np.max(np.abs(cw - avg))) if cw.size else 0.0
+
+
+def strict_balance_margin(class_weights: np.ndarray, total: float, wmax: float, k: int) -> float:
+    """Slack in Definition 1: ``(1 − 1/k)‖w‖∞ − max_i |w(χ⁻¹(i)) − avg|``.
+
+    Non-negative iff the coloring is strictly balanced; the experiments
+    report how much of the window is actually used.
+    """
+    return (1.0 - 1.0 / k) * wmax - max_deviation(class_weights, total, k)
+
+
+def is_strictly_balanced(
+    class_weights: np.ndarray, total: float, wmax: float, k: int, tol: float = 1e-9
+) -> bool:
+    """Definition 1 with a numerical tolerance scaled by ``‖w‖∞``."""
+    return strict_balance_margin(class_weights, total, wmax, k) >= -tol * max(1.0, wmax)
+
+
+def is_almost_strictly_balanced(
+    class_weights: np.ndarray, total: float, wmax: float, k: int, tol: float = 1e-9
+) -> bool:
+    """§4's relaxed window: every class within ``2‖w‖∞`` of the average."""
+    return max_deviation(class_weights, total, k) <= 2.0 * wmax + tol * max(1.0, wmax)
+
+
+def weak_balance_ratio(class_weights: np.ndarray, total: float, wmax: float, k: int) -> float:
+    """``max_i Φ(χ⁻¹(i)) / (‖Φ‖_avg + ‖Φ‖∞)`` — §3's weak balance constant.
+
+    A coloring is weakly balanced when this ratio is ``O(1)``; 0-weight
+    instances report 0.
+    """
+    cw = np.asarray(class_weights, dtype=np.float64)
+    denom = total / k + wmax
+    if denom <= 0:
+        return 0.0
+    return float(np.max(cw)) / denom if cw.size else 0.0

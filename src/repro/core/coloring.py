@@ -1,0 +1,129 @@
+"""The ``Coloring`` container: a k-coloring with its audit quantities.
+
+Thin wrapper around a label array (``-1`` = uncolored) providing the paper's
+notation: ``Φχ⁻¹`` (per-class measure totals), ``∂χ⁻¹`` (per-class boundary
+costs), ``‖∂χ⁻¹‖∞`` / ``‖∂χ⁻¹‖_avg``, direct sums, and Definition 1 checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .balance import is_almost_strictly_balanced, is_strictly_balanced, strict_balance_margin
+from .measures import class_measure
+
+__all__ = ["Coloring"]
+
+
+@dataclass
+class Coloring:
+    """A (partial) ``k``-coloring ``χ : V → [k] ∪ {-1}`` of a host graph."""
+
+    labels: np.ndarray
+    k: int
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.labels.size and (self.labels.max() >= self.k or self.labels.min() < -1):
+            raise ValueError("labels out of range")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def trivial(cls, n: int, k: int) -> "Coloring":
+        """Everything in class 0 — Lemma 6's induction base (r = 0)."""
+        return cls(np.zeros(n, dtype=np.int64), k)
+
+    @classmethod
+    def round_robin(cls, n: int, k: int) -> "Coloring":
+        """Vertices dealt to classes cyclically (a cheap balanced start)."""
+        return cls(np.arange(n, dtype=np.int64) % k, k)
+
+    def copy(self) -> "Coloring":
+        return Coloring(self.labels.copy(), self.k)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return int(self.labels.size)
+
+    def is_total(self) -> bool:
+        """Whether every vertex is colored."""
+        return bool(np.all(self.labels >= 0))
+
+    def class_members(self, i: int) -> np.ndarray:
+        return np.flatnonzero(self.labels == i).astype(np.int64)
+
+    def class_sizes(self) -> np.ndarray:
+        sel = self.labels >= 0
+        return np.bincount(self.labels[sel], minlength=self.k)
+
+    def class_weights(self, measure: np.ndarray) -> np.ndarray:
+        """``Φχ⁻¹`` as a length-``k`` vector."""
+        return class_measure(measure, self.labels, self.k)
+
+    # ------------------------------------------------------------------
+    def boundary_per_class(self, g: Graph) -> np.ndarray:
+        """``∂χ⁻¹`` — per-class boundary cost (uncolored counts as foreign)."""
+        return g.boundary_per_class(self.labels, self.k)
+
+    def max_boundary(self, g: Graph) -> float:
+        """``‖∂χ⁻¹‖∞`` — Definition 1's maximum boundary cost."""
+        per = self.boundary_per_class(g)
+        return float(per.max()) if per.size else 0.0
+
+    def avg_boundary(self, g: Graph) -> float:
+        """``‖∂χ⁻¹‖_avg = ‖∂χ⁻¹‖₁/k``."""
+        per = self.boundary_per_class(g)
+        return float(per.sum()) / self.k if per.size else 0.0
+
+    # ------------------------------------------------------------------
+    def is_strictly_balanced(self, weights: np.ndarray, tol: float = 1e-9) -> bool:
+        w = np.asarray(weights, dtype=np.float64)
+        return is_strictly_balanced(
+            self.class_weights(w), float(w.sum()), float(w.max()) if w.size else 0.0, self.k, tol
+        )
+
+    def is_almost_strictly_balanced(self, weights: np.ndarray, tol: float = 1e-9) -> bool:
+        w = np.asarray(weights, dtype=np.float64)
+        return is_almost_strictly_balanced(
+            self.class_weights(w), float(w.sum()), float(w.max()) if w.size else 0.0, self.k, tol
+        )
+
+    def balance_margin(self, weights: np.ndarray) -> float:
+        w = np.asarray(weights, dtype=np.float64)
+        return strict_balance_margin(
+            self.class_weights(w), float(w.sum()), float(w.max()) if w.size else 0.0, self.k
+        )
+
+    # ------------------------------------------------------------------
+    def direct_sum(self, other: "Coloring") -> "Coloring":
+        """``χ₀ ⊕ χ₁``: combine colorings of disjoint supports (same host).
+
+        Both colorings live on the same host graph; each vertex must be
+        colored in at most one of the two.
+        """
+        if self.n != other.n or self.k != other.k:
+            raise ValueError("direct sum requires matching n and k")
+        overlap = (self.labels >= 0) & (other.labels >= 0)
+        if np.any(overlap):
+            raise ValueError("direct sum requires disjoint supports")
+        out = self.labels.copy()
+        sel = other.labels >= 0
+        out[sel] = other.labels[sel]
+        return Coloring(out, self.k)
+
+    def restrict(self, members: np.ndarray) -> "Coloring":
+        """``χ|_W``: keep colors on ``members``, uncolor the rest."""
+        out = np.full(self.n, -1, dtype=np.int64)
+        members = np.asarray(members, dtype=np.int64)
+        out[members] = self.labels[members]
+        return Coloring(out, self.k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        colored = int(np.sum(self.labels >= 0))
+        return f"Coloring(n={self.n}, k={self.k}, colored={colored})"

@@ -1,0 +1,89 @@
+"""Vertex measures (§2 "Further Notation", Definition 10).
+
+A *measure* ``Φ`` is any non-negative function on vertices, extended to sets
+by summation.  The decomposition pipeline juggles several at once:
+
+* the user's weights ``w``,
+* the **splitting cost measure** ``π(v) = σ_p^p · Σ_{e∋v} c_e^p / 2``
+  (Definition 10) — ``π(W)^{1/p}`` upper-bounds the cost of splitting
+  ``G[W]``, so balancing ``π`` keeps every class cheap to split later,
+* the **bichromatic-edge measure** ``Ψ(v) = c({uv ∈ E : χ(u) ≠ χ(v)})``
+  (Proposition 7) — a vertex-measure proxy for boundary cost,
+* Proposition 7's **dynamic monochromatic measure** ``Φ^(r+1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import pnorm
+from ..graphs.graph import Graph
+
+__all__ = [
+    "splitting_cost_measure",
+    "splitting_cost",
+    "class_measure",
+    "measure_norms",
+    "dynamic_mono_measure",
+]
+
+
+def splitting_cost_measure(g: Graph, p: float, sigma_p: float = 1.0) -> np.ndarray:
+    """Definition 10: ``π(v) = σ_p^p Σ_{e ∈ δ(v)} c_e^p / 2``.
+
+    For every ``W``, ``σ_p‖c|W‖_p ≤ π(W)^{1/p}`` (each internal edge of ``W``
+    contributes its full ``c^p`` across its two endpoints), so ``π(W)^{1/p}``
+    is a splitting-cost budget for ``G[W]``.
+    """
+    pi = np.zeros(g.n, dtype=np.float64)
+    if g.m:
+        cp = g.costs**p
+        np.add.at(pi, g.edges[:, 0], cp / 2.0)
+        np.add.at(pi, g.edges[:, 1], cp / 2.0)
+    return (sigma_p**p) * pi
+
+
+def splitting_cost(pi: np.ndarray, members, p: float) -> float:
+    """``π^{1/p}(W) = (π(W))^{1/p}`` — the splitting cost of a vertex set."""
+    members = np.asarray(members)
+    sub = pi[members] if members.dtype != bool else pi[np.flatnonzero(members)]
+    total = float(np.sum(sub))
+    return total ** (1.0 / p) if total > 0 else 0.0
+
+
+def class_measure(measure: np.ndarray, labels: np.ndarray, k: int) -> np.ndarray:
+    """``Φχ⁻¹ : [k] → R+`` — per-class measure totals (uncolored ignored)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    sel = labels >= 0
+    return np.bincount(labels[sel], weights=np.asarray(measure, dtype=np.float64)[sel], minlength=k)
+
+
+def measure_norms(measure: np.ndarray, k: int) -> tuple[float, float]:
+    """``(‖Φ‖_avg, ‖Φ‖∞)`` with ``‖Φ‖_avg = ‖Φ‖₁/k``."""
+    m = np.asarray(measure, dtype=np.float64)
+    if m.size == 0:
+        return 0.0, 0.0
+    return float(m.sum()) / k, float(m.max())
+
+
+def dynamic_mono_measure(g: Graph, vin: np.ndarray, mono_edge: np.ndarray) -> np.ndarray:
+    """Proposition 7's ``Φ^(r+1)``: for ``v ∈ V_in(i)`` the cost of
+    ``δ(v) ∩ δ(V_in(i)) ∩ E′`` edges, 0 elsewhere.
+
+    ``mono_edge`` is the boolean mask of χ-monochromatic edges ``E′``.
+    """
+    phi = np.zeros(g.n, dtype=np.float64)
+    if g.m == 0 or vin.size == 0:
+        return phi
+    mask = np.zeros(g.n, dtype=bool)
+    mask[vin] = True
+    u, v = g.edges[:, 0], g.edges[:, 1]
+    crossing = (mask[u] != mask[v]) & mono_edge
+    if not np.any(crossing):
+        return phi
+    cu = u[crossing]
+    cv = v[crossing]
+    cc = g.costs[crossing]
+    inside_u = mask[cu]
+    np.add.at(phi, np.where(inside_u, cu, cv), cc)
+    return phi

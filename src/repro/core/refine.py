@@ -1,0 +1,173 @@
+"""Balance-preserving k-way boundary refinement.
+
+A practical post-pass on top of the Theorem 4 pipeline: pairwise
+Fiduccia–Mattheyses moves between classes that share boundary, constrained so
+every class stays inside Definition 1's strict-balance window.  The theory
+never needs this stage (it can only reduce boundary costs); it tightens the
+constants the experiments report, the same role FM plays inside multilevel
+partitioners.
+
+Moves are evaluated on the *host* graph: flipping ``v`` from class ``i`` to
+``j`` changes the total bichromatic cost by ``c(v→i edges) − c(v→j edges)``
+(edges to third classes are unaffected), so a pass can only reduce the total
+cut while the per-class weight windows are enforced exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .coloring import Coloring
+
+__all__ = ["kway_refine", "pairwise_refine"]
+
+
+def _class_pair_costs(g: Graph, labels: np.ndarray, k: int) -> dict[tuple[int, int], float]:
+    """Total edge cost between each pair of distinct classes."""
+    out: dict[tuple[int, int], float] = {}
+    if g.m == 0:
+        return out
+    lu = labels[g.edges[:, 0]]
+    lv = labels[g.edges[:, 1]]
+    sel = (lu != lv) & (lu >= 0) & (lv >= 0)
+    lo = np.minimum(lu[sel], lv[sel])
+    hi = np.maximum(lu[sel], lv[sel])
+    cc = g.costs[sel]
+    keys = lo * k + hi
+    sums = np.bincount(keys, weights=cc, minlength=k * k)
+    for key in np.flatnonzero(sums > 0):
+        out[(int(key) // k, int(key) % k)] = float(sums[key])
+    return out
+
+
+def pairwise_refine(
+    g: Graph,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    i: int,
+    j: int,
+    lo_bound: float,
+    hi_bound: float,
+    max_moves: int | None = None,
+) -> bool:
+    """One FM pass moving vertices between classes ``i`` and ``j`` in place.
+
+    ``lo_bound``/``hi_bound`` are the global per-class weight limits
+    (Definition 1's window around the average); moves violating them are
+    skipped.  Returns True when any move was kept.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    members = np.flatnonzero((labels == i) | (labels == j)).astype(np.int64)
+    if members.size == 0:
+        return False
+    cw_i = float(w[labels == i].sum())
+    cw_j = float(w[labels == j].sum())
+
+    def gain_of(v: int) -> float:
+        s, e = g.indptr[v], g.indptr[v + 1]
+        nbrs = g.nbr[s:e]
+        ecost = g.costs[g.eid[s:e]]
+        own = labels[nbrs] == labels[v]
+        other = labels[nbrs] == (j if labels[v] == i else i)
+        return float(ecost[other].sum() - ecost[own].sum())
+
+    heap = [(-gain_of(int(v)), int(v)) for v in members]
+    heapq.heapify(heap)
+    locked = np.zeros(g.n, dtype=bool)
+    moves: list[int] = []
+    best_prefix = 0
+    best_improvement = 0.0
+    improvement = 0.0
+    wmax = float(w[members].max()) if members.size else 0.0
+    limit = max_moves if max_moves is not None else members.size
+
+    def strictly_ok() -> bool:
+        return (
+            lo_bound - 1e-9 <= cw_i <= hi_bound + 1e-9
+            and lo_bound - 1e-9 <= cw_j <= hi_bound + 1e-9
+        )
+
+    start_ok = strictly_ok()
+    while heap and len(moves) < limit:
+        neg_gain, v = heapq.heappop(heap)
+        if locked[v] or labels[v] not in (i, j):
+            continue
+        gv = gain_of(v)
+        if abs(gv + neg_gain) > 1e-12:
+            heapq.heappush(heap, (-gv, v))
+            continue
+        src, dst = (i, j) if labels[v] == i else (j, i)
+        new_src = (cw_i if src == i else cw_j) - w[v]
+        new_dst = (cw_j if src == i else cw_i) + w[v]
+        # FM discipline: allow one-move overshoot past the strict window;
+        # only strictly-valid intermediate states can become the result.
+        if new_src < lo_bound - wmax - 1e-12 or new_dst > hi_bound + wmax + 1e-12:
+            continue
+        labels[v] = dst
+        locked[v] = True
+        if src == i:
+            cw_i, cw_j = new_src, new_dst
+        else:
+            cw_j, cw_i = new_src, new_dst
+        improvement += gv
+        moves.append(v)
+        if improvement > best_improvement + 1e-12 and strictly_ok():
+            best_improvement = improvement
+            best_prefix = len(moves)
+        s, e = g.indptr[v], g.indptr[v + 1]
+        for u in g.nbr[s:e]:
+            u = int(u)
+            if not locked[u] and labels[u] in (i, j):
+                heapq.heappush(heap, (-gain_of(u), u))
+    # rollback past the best strictly-valid prefix; if the input itself was
+    # outside the window (shouldn't happen), keep the best effort instead of
+    # rolling back to an invalid start
+    if best_prefix == 0 and not start_ok and moves:
+        return False
+    for v in reversed(moves[best_prefix:]):
+        labels[v] = i if labels[v] == j else j
+    return best_prefix > 0
+
+
+def kway_refine(
+    g: Graph,
+    coloring: Coloring,
+    weights: np.ndarray,
+    rounds: int = 2,
+    max_pairs_per_round: int | None = None,
+) -> Coloring:
+    """Refine a strictly balanced k-coloring without leaving the window.
+
+    Each round visits class pairs in decreasing shared-boundary order and
+    runs one balance-constrained FM pass per pair.  Strict balance
+    (Definition 1) is preserved *exactly*: per-class weights never leave
+    ``[avg − (1−1/k)‖w‖∞, avg + (1−1/k)‖w‖∞]``.
+    """
+    k = coloring.k
+    w = np.asarray(weights, dtype=np.float64)
+    if k < 2 or g.m == 0:
+        return coloring.copy()
+    labels = coloring.labels.copy()
+    total = float(w[labels >= 0].sum())
+    wmax = float(w.max()) if w.size else 0.0
+    avg = total / k
+    window = (1.0 - 1.0 / k) * wmax
+    # never loosen an already-tighter-than-window input beyond the window
+    lo_bound = avg - window
+    hi_bound = avg + window
+    budget = max_pairs_per_round if max_pairs_per_round is not None else 2 * k
+    for _ in range(max(0, rounds)):
+        pair_costs = _class_pair_costs(g, labels, k)
+        if not pair_costs:
+            break
+        pairs = sorted(pair_costs.items(), key=lambda kv: -kv[1])[:budget]
+        changed = False
+        for (i, j), _cost in pairs:
+            if pairwise_refine(g, labels, w, i, j, lo_bound, hi_bound):
+                changed = True
+        if not changed:
+            break
+    return Coloring(labels, k)

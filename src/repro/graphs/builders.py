@@ -1,0 +1,104 @@
+"""Constructors and converters for :class:`~repro.graphs.graph.Graph`."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .._util import as_float_array
+from .graph import Graph
+
+__all__ = [
+    "from_edges",
+    "from_networkx",
+    "to_networkx",
+    "disjoint_union",
+    "relabel",
+]
+
+
+def from_edges(n: int, edges: Iterable[tuple[int, int]], costs=None, coords=None) -> Graph:
+    """Build a graph from an iterable of ``(u, v)`` pairs."""
+    edge_arr = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+    return Graph(n, edge_arr, costs, coords=coords)
+
+
+def from_networkx(nxg, cost_attr: str = "cost", default_cost: float = 1.0) -> Graph:
+    """Convert an (undirected, simple) networkx graph.
+
+    Node labels are mapped to ``0..n-1`` in sorted order when possible,
+    insertion order otherwise.  Edge costs are read from ``cost_attr``.
+    """
+    nodes = list(nxg.nodes())
+    try:
+        nodes = sorted(nodes)
+    except TypeError:
+        pass
+    index = {u: i for i, u in enumerate(nodes)}
+    edges = []
+    costs = []
+    for u, v, data in nxg.edges(data=True):
+        edges.append((index[u], index[v]))
+        costs.append(float(data.get(cost_attr, default_cost)))
+    edge_arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    return Graph(len(nodes), edge_arr, np.asarray(costs, dtype=np.float64))
+
+
+def to_networkx(g: Graph, cost_attr: str = "cost"):
+    """Convert to a networkx graph (test/interop helper)."""
+    import networkx as nx
+
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(g.n))
+    for eid in range(g.m):
+        u, v = int(g.edges[eid, 0]), int(g.edges[eid, 1])
+        nxg.add_edge(u, v, **{cost_attr: float(g.costs[eid])})
+    return nxg
+
+
+def disjoint_union(graphs: Sequence[Graph]) -> Graph:
+    """Disjoint union ``G⁽¹⁾ ∪̇ … ∪̇ G⁽ᵗ⁾`` (Theorem 5's copy construction).
+
+    Vertex ids are offset blockwise; coordinates are kept only when every
+    part has coordinates of the same dimension (offset along axis 0 so the
+    union is again a valid grid when the parts are grids).
+    """
+    if not graphs:
+        return Graph(0, np.zeros((0, 2), dtype=np.int64))
+    n = 0
+    edges = []
+    costs = []
+    keep_coords = all(g.coords is not None for g in graphs) and len(
+        {g.coords.shape[1] for g in graphs if g.coords is not None}
+    ) == 1
+    coords = [] if keep_coords else None
+    axis0_offset = 0
+    for g in graphs:
+        if g.m:
+            edges.append(g.edges + n)
+            costs.append(g.costs)
+        if keep_coords:
+            shifted = g.coords.copy()
+            if g.n:
+                shifted[:, 0] += axis0_offset - int(g.coords[:, 0].min())
+                axis0_offset += int(g.coords[:, 0].max() - g.coords[:, 0].min()) + 2
+            coords.append(shifted)
+        n += g.n
+    edge_arr = np.vstack(edges) if edges else np.zeros((0, 2), dtype=np.int64)
+    cost_arr = np.concatenate(costs) if costs else np.zeros(0, dtype=np.float64)
+    coord_arr = np.vstack(coords) if keep_coords and coords else None
+    return Graph(n, edge_arr, cost_arr, coords=coord_arr, _validate=False)
+
+
+def relabel(g: Graph, perm: np.ndarray) -> Graph:
+    """Relabel vertices by permutation ``perm`` (old id -> new id)."""
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.size != g.n or np.unique(perm).size != g.n:
+        raise ValueError("perm must be a permutation of 0..n-1")
+    new_edges = perm[g.edges] if g.m else g.edges
+    coords = None
+    if g.coords is not None:
+        coords = np.empty_like(g.coords)
+        coords[perm] = g.coords
+    return Graph(g.n, new_edges, g.costs.copy(), coords=coords)

@@ -1,0 +1,136 @@
+"""Connectivity helpers: components, BFS orders, pseudo-peripheral vertices.
+
+BFS is implemented with a vectorized frontier expansion over the CSR arrays;
+this keeps `O(n + m)` behaviour with numpy-level constants, which matters for
+the `O(t(|G|) log k)` runtime experiments (E8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = [
+    "connected_components",
+    "bfs_levels",
+    "bfs_order",
+    "pseudo_peripheral_vertex",
+    "is_connected",
+]
+
+
+def bfs_levels(g: Graph, sources) -> np.ndarray:
+    """BFS distance from the source set; ``-1`` for unreachable vertices."""
+    level = np.full(g.n, -1, dtype=np.int64)
+    frontier = np.asarray(sources, dtype=np.int64).ravel()
+    if frontier.size == 0:
+        return level
+    level[frontier] = 0
+    depth = 0
+    while frontier.size:
+        depth += 1
+        # gather all CSR neighbor ranges of the frontier
+        starts = g.indptr[frontier]
+        stops = g.indptr[frontier + 1]
+        counts = stops - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        take = np.repeat(starts, counts) + _ragged_arange(counts)
+        nxt = g.nbr[take]
+        nxt = nxt[level[nxt] < 0]
+        if nxt.size == 0:
+            break
+        nxt = np.unique(nxt)
+        level[nxt] = depth
+        frontier = nxt
+    return level
+
+
+def bfs_order(g: Graph, source: int) -> np.ndarray:
+    """Vertices in BFS order from ``source``; unreachable vertices appended
+    component by component (each started from its lowest-id vertex)."""
+    order = []
+    visited = np.zeros(g.n, dtype=bool)
+    pending = [int(source)] + [v for v in range(g.n)]
+    for s in pending:
+        if visited[s]:
+            continue
+        lev = _bfs_component(g, s, visited)
+        order.append(lev)
+    return np.concatenate(order) if order else np.zeros(0, dtype=np.int64)
+
+
+def _bfs_component(g: Graph, source: int, visited: np.ndarray) -> np.ndarray:
+    """BFS order of one component, marking ``visited`` in place."""
+    out = [np.asarray([source], dtype=np.int64)]
+    visited[source] = True
+    frontier = out[0]
+    while frontier.size:
+        starts = g.indptr[frontier]
+        counts = g.indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        take = np.repeat(starts, counts) + _ragged_arange(counts)
+        nxt = g.nbr[take]
+        nxt = nxt[~visited[nxt]]
+        if nxt.size == 0:
+            break
+        nxt = np.unique(nxt)
+        visited[nxt] = True
+        out.append(nxt)
+        frontier = nxt
+    return np.concatenate(out)
+
+
+def connected_components(g: Graph) -> np.ndarray:
+    """Component id per vertex (ids are 0-based, in order of discovery)."""
+    comp = np.full(g.n, -1, dtype=np.int64)
+    visited = np.zeros(g.n, dtype=bool)
+    cid = 0
+    for v in range(g.n):
+        if visited[v]:
+            continue
+        members = _bfs_component(g, v, visited)
+        comp[members] = cid
+        cid += 1
+    return comp
+
+
+def is_connected(g: Graph) -> bool:
+    """True when the graph has at most one connected component."""
+    if g.n <= 1:
+        return True
+    return bool(np.all(bfs_levels(g, [0]) >= 0))
+
+
+def pseudo_peripheral_vertex(g: Graph, start: int = 0, sweeps: int = 2) -> int:
+    """A vertex of (near-)maximal eccentricity via repeated BFS sweeps.
+
+    The classic double-sweep heuristic; used to seed BFS orders so the
+    resulting prefix splitting sets behave like layered separators.
+    """
+    if g.n == 0:
+        return 0
+    v = int(start)
+    for _ in range(max(1, sweeps)):
+        lev = bfs_levels(g, [v])
+        reach = lev >= 0
+        far = int(np.argmax(np.where(reach, lev, -1)))
+        if far == v:
+            break
+        v = far
+    return v
+
+
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(c)`` for each ``c`` in ``counts``."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    out = np.arange(total, dtype=np.int64)
+    out -= np.repeat(ends - counts, counts)
+    return out

@@ -1,0 +1,236 @@
+"""Graph family generators.
+
+Each generator returns a :class:`~repro.graphs.graph.Graph` with unit costs
+(costs are set separately via :mod:`repro.graphs.costs`).  Grid graphs carry
+integer coordinates, which the §6 grid machinery requires (a grid graph is
+``V ⊆ Z^d`` with edges only between ``‖x − y‖₁ = 1`` pairs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng
+from .graph import Graph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "caterpillar",
+    "complete_graph",
+    "grid_graph",
+    "grid_subset_graph",
+    "hypercube_graph",
+    "triangulated_mesh",
+    "torus_graph",
+    "random_regular_graph",
+    "random_geometric_graph",
+    "binary_tree",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """Path on ``n`` vertices — the 1-dimensional grid."""
+    edges = np.column_stack([np.arange(n - 1), np.arange(1, n)]) if n > 1 else np.zeros((0, 2), dtype=np.int64)
+    coords = np.arange(n, dtype=np.int64).reshape(-1, 1)
+    return Graph(n, edges, coords=coords)
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n ≥ 3`` vertices."""
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    a = np.arange(n)
+    edges = np.column_stack([a, (a + 1) % n])
+    return Graph(n, edges)
+
+
+def star_graph(n: int) -> Graph:
+    """Star with ``n-1`` leaves — the canonical unbounded-degree instance."""
+    if n < 1:
+        raise ValueError("star needs n >= 1")
+    edges = np.column_stack([np.zeros(n - 1, dtype=np.int64), np.arange(1, n)]) if n > 1 else np.zeros((0, 2), dtype=np.int64)
+    return Graph(n, edges)
+
+
+def caterpillar(spine: int, legs: int) -> Graph:
+    """Caterpillar: a spine path with ``legs`` pendant vertices per spine node."""
+    n = spine * (1 + legs)
+    edges = []
+    for i in range(spine - 1):
+        edges.append((i, i + 1))
+    nxt = spine
+    for i in range(spine):
+        for _ in range(legs):
+            edges.append((i, nxt))
+            nxt += 1
+    return Graph(n, np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+
+
+def complete_graph(n: int) -> Graph:
+    """``K_n`` (used by exact/tiny-instance tests)."""
+    iu = np.triu_indices(n, k=1)
+    edges = np.column_stack([iu[0], iu[1]])
+    return Graph(n, edges)
+
+
+def binary_tree(depth: int) -> Graph:
+    """Complete binary tree of the given depth (root at vertex 0)."""
+    n = 2 ** (depth + 1) - 1
+    kids = np.arange(1, n)
+    edges = np.column_stack([(kids - 1) // 2, kids])
+    return Graph(n, edges)
+
+
+def grid_graph(*shape: int) -> Graph:
+    """Axis-aligned ``d``-dimensional grid of the given side lengths.
+
+    Vertices are the integer points of ``[0,s₁) × … × [0,s_d)``; edges join
+    points at L1-distance 1.  Coordinates are attached for §6.
+    """
+    shape = tuple(int(s) for s in shape)
+    if not shape or any(s < 1 for s in shape):
+        raise ValueError("grid_graph needs positive side lengths")
+    d = len(shape)
+    n = int(np.prod(shape))
+    idx = np.arange(n, dtype=np.int64)
+    coords = np.stack(np.unravel_index(idx, shape), axis=1).astype(np.int64)
+    edges = []
+    strides = np.asarray([int(np.prod(shape[a + 1 :])) for a in range(d)], dtype=np.int64)
+    for axis in range(d):
+        has_next = coords[:, axis] < shape[axis] - 1
+        u = idx[has_next]
+        edges.append(np.column_stack([u, u + strides[axis]]))
+    edge_arr = np.vstack(edges) if edges else np.zeros((0, 2), dtype=np.int64)
+    return Graph(n, edge_arr, coords=coords)
+
+
+def grid_subset_graph(coords: np.ndarray) -> Graph:
+    """Grid graph induced by an arbitrary finite subset of ``Z^d``.
+
+    Edges are added between every pair of points at L1-distance 1.  This is
+    the general form of Definition §6 ("a grid graph in d-dimensional space").
+    """
+    coords = np.asarray(coords, dtype=np.int64)
+    if coords.ndim != 2:
+        raise ValueError("coords must be (n, d)")
+    n, d = coords.shape
+    index = {tuple(row): i for i, row in enumerate(coords)}
+    if len(index) != n:
+        raise ValueError("duplicate coordinates")
+    edges = []
+    for axis in range(d):
+        shifted = coords.copy()
+        shifted[:, axis] += 1
+        for i, row in enumerate(shifted):
+            j = index.get(tuple(row))
+            if j is not None:
+                edges.append((i, j))
+    edge_arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    return Graph(n, edge_arr, coords=coords)
+
+
+def hypercube_graph(dim: int) -> Graph:
+    """Boolean hypercube ``Q_dim`` (a 2×2×…×2 grid)."""
+    return grid_graph(*([2] * dim))
+
+
+def triangulated_mesh(rows: int, cols: int) -> Graph:
+    """Triangulated ``rows×cols`` mesh — the climate-simulation surface (§1).
+
+    A 2-d grid plus one diagonal per unit square, giving bounded degree ≤ 8
+    and a planar structure with a √n separator theorem.
+    """
+    base = grid_graph(rows, cols)
+    coords = base.coords
+    idx = np.arange(base.n).reshape(rows, cols)
+    diag = np.column_stack([idx[:-1, :-1].ravel(), idx[1:, 1:].ravel()])
+    edges = np.vstack([base.edges, diag])
+    return Graph(base.n, edges, coords=coords)
+
+
+def random_regular_graph(n: int, degree: int, rng=None, max_tries: int = 200) -> Graph:
+    """Simple random ``degree``-regular graph via the pairing model.
+
+    Retries until a simple perfect matching of half-edges is found; used as
+    the expander family for the tightness experiments (E3) — every balanced
+    separator of a random regular graph costs ``Ω(n)`` edges w.h.p.
+    """
+    if n * degree % 2:
+        raise ValueError("n * degree must be even")
+    if degree >= n:
+        raise ValueError("degree must be < n")
+    gen = as_rng(rng)
+    stubs0 = np.repeat(np.arange(n, dtype=np.int64), degree)
+    for _ in range(max_tries):
+        stubs = gen.permutation(stubs0)
+        u = stubs[0::2]
+        v = stubs[1::2]
+        if np.any(u == v):
+            continue
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        keys = lo * n + hi
+        if np.unique(keys).size != keys.size:
+            continue
+        return Graph(n, np.column_stack([lo, hi]))
+    raise RuntimeError("failed to sample a simple regular graph")
+
+
+def torus_graph(*shape: int) -> Graph:
+    """d-dimensional torus: the grid with periodic (wrap-around) edges.
+
+    Climate grids wrap around the globe longitudinally; the torus removes
+    boundary effects entirely.  Tori are *not* §6 grid graphs (wrap edges
+    span L1-distance > 1), so no coordinates are attached — ``GridSplit``
+    correctly refuses them while the BFS/spectral oracles apply.
+    """
+    shape = tuple(int(s) for s in shape)
+    if not shape or any(s < 3 for s in shape):
+        raise ValueError("torus_graph needs side lengths >= 3 (else parallel edges)")
+    d = len(shape)
+    n = int(np.prod(shape))
+    idx = np.arange(n, dtype=np.int64)
+    coords = np.stack(np.unravel_index(idx, shape), axis=1).astype(np.int64)
+    edges = []
+    for axis in range(d):
+        nxt = coords.copy()
+        nxt[:, axis] = (nxt[:, axis] + 1) % shape[axis]
+        flat = np.ravel_multi_index(tuple(nxt.T), shape)
+        edges.append(np.column_stack([idx, flat]))
+    return Graph(n, np.vstack(edges))
+
+
+def random_geometric_graph(n: int, radius: float, rng=None) -> Graph:
+    """Random geometric graph in the unit square (well-shaped-mesh stand-in).
+
+    Vertices are uniform points; edges join pairs within ``radius``.  For
+    ``radius = Θ(√(log n / n))`` this behaves like a bounded-degree mesh with
+    a ``2``-separator theorem.
+    """
+    gen = as_rng(rng)
+    pts = gen.random((n, 2))
+    # grid-bucketed neighbor search to stay O(n) for sensible radii
+    cell = max(radius, 1e-9)
+    keys = np.floor(pts / cell).astype(np.int64)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for i, (cx, cy) in enumerate(keys):
+        buckets.setdefault((int(cx), int(cy)), []).append(i)
+    edges = []
+    r2 = radius * radius
+    for (cx, cy), members in buckets.items():
+        cand = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                cand.extend(buckets.get((cx + dx, cy + dy), []))
+        cand = np.asarray(cand, dtype=np.int64)
+        for i in members:
+            close = cand[cand > i]
+            if close.size == 0:
+                continue
+            d2 = np.sum((pts[close] - pts[i]) ** 2, axis=1)
+            for j in close[d2 <= r2]:
+                edges.append((i, int(j)))
+    edge_arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    return Graph(n, edge_arr)

@@ -1,0 +1,310 @@
+"""Static undirected graph with edge costs, in CSR form.
+
+The paper's algorithms operate on a graph ``G = (V, E)`` with edge costs
+``c : E → R+`` and repeatedly take induced subgraphs ``G[W]``.  This module
+provides an immutable, numpy-backed representation that makes the hot
+operations vectorized:
+
+* ``boundary_cost(U)`` — cost of the cut ``δ(U)`` (Definition 1's ``∂U``),
+* ``boundary_per_class(labels, k)`` — per-class boundary vector ``∂χ⁻¹``,
+* ``subgraph(W)`` — induced subgraph with origin maps,
+* ``cost_degree()`` — the vertex costs ``τ(v) = c(δ(v))`` of Appendix A.3.
+
+Vertex weights are deliberately *not* stored on the graph: the algorithms of
+the paper juggle many measures ``Φ⁽¹⁾ … Φ⁽ʳ⁾`` over the same graph, so every
+API takes weight vectors explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .._util import as_float_array, as_index_array, mask_from_indices, pnorm
+
+__all__ = ["Graph", "Subgraph"]
+
+
+class Graph:
+    """Immutable undirected graph with positive edge costs.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices; vertices are ``0 .. n-1``.
+    edges:
+        ``(m, 2)`` integer array of endpoints.  Self-loops and duplicate
+        edges are rejected (the paper assumes simple graphs).
+    costs:
+        Edge costs ``c : E → R+``; scalar broadcasts.  Defaults to unit costs.
+    coords:
+        Optional ``(n, d)`` integer coordinates.  Present on grid graphs and
+        consumed by the §6 grid machinery and grid vertex orders.
+    """
+
+    __slots__ = ("n", "m", "edges", "costs", "indptr", "nbr", "eid", "coords")
+
+    def __init__(self, n, edges, costs=None, coords=None, _validate: bool = True):
+        n = int(n)
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        m = edges.shape[0]
+        if costs is None:
+            costs = np.ones(m, dtype=np.float64)
+        costs = as_float_array(costs, m, name="costs")
+        if _validate:
+            if n < 0:
+                raise ValueError("n must be non-negative")
+            if m:
+                if edges.min() < 0 or edges.max() >= n:
+                    raise ValueError("edge endpoint out of range")
+                if np.any(edges[:, 0] == edges[:, 1]):
+                    raise ValueError("self-loops are not allowed")
+            # canonicalize endpoints u < v and reject parallel edges
+            lo = np.minimum(edges[:, 0], edges[:, 1])
+            hi = np.maximum(edges[:, 0], edges[:, 1])
+            edges = np.column_stack([lo, hi]) if m else edges
+            if m:
+                keys = lo * n + hi
+                if np.unique(keys).size != m:
+                    raise ValueError("parallel edges are not allowed")
+        self.n = n
+        self.m = m
+        self.edges = edges
+        self.edges.setflags(write=False)
+        self.costs = costs
+        self.costs.setflags(write=False)
+        if coords is not None:
+            coords = np.asarray(coords, dtype=np.int64)
+            if coords.shape[0] != n:
+                raise ValueError("coords must have one row per vertex")
+            coords.setflags(write=False)
+        self.coords = coords
+        self._build_csr()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_csr(self) -> None:
+        n, m = self.n, self.m
+        if m == 0:
+            self.indptr = np.zeros(n + 1, dtype=np.int64)
+            self.nbr = np.zeros(0, dtype=np.int64)
+            self.eid = np.zeros(0, dtype=np.int64)
+            return
+        u = self.edges[:, 0]
+        v = self.edges[:, 1]
+        deg = np.bincount(u, minlength=n) + np.bincount(v, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(deg, out=indptr[1:])
+        nbr = np.empty(2 * m, dtype=np.int64)
+        eid = np.empty(2 * m, dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        # half-edge fill: (u -> v) and (v -> u), both recording the edge id
+        order_u = np.argsort(u, kind="stable")
+        order_v = np.argsort(v, kind="stable")
+        # vectorized fill via cumulative counting
+        pos_u = cursor[u[order_u]] + _running_rank(u[order_u])
+        nbr[pos_u] = v[order_u]
+        eid[pos_u] = order_u
+        cursor2 = cursor + np.bincount(u, minlength=n)
+        pos_v = cursor2[v[order_v]] + _running_rank(v[order_v])
+        nbr[pos_v] = u[order_v]
+        eid[pos_v] = order_v
+        self.indptr = indptr
+        self.nbr = nbr
+        self.eid = eid
+        for arr in (self.indptr, self.nbr, self.eid):
+            arr.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbor vertex ids of ``v`` (a CSR view, do not mutate)."""
+        return self.nbr[self.indptr[v] : self.indptr[v + 1]]
+
+    def incident_edges(self, v: int) -> np.ndarray:
+        """Edge ids incident to ``v``."""
+        return self.eid[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self) -> np.ndarray:
+        """Vertex degrees as an ``(n,)`` int array."""
+        return np.diff(self.indptr)
+
+    def max_degree(self) -> int:
+        """``Δ(G)``, 0 for edgeless graphs."""
+        return int(np.max(np.diff(self.indptr))) if self.n else 0
+
+    def cost_degree(self) -> np.ndarray:
+        """``τ(v) = c(δ(v))`` for every vertex (Appendix A.3 vertex costs)."""
+        tau = np.zeros(self.n, dtype=np.float64)
+        if self.m:
+            np.add.at(tau, self.edges[:, 0], self.costs)
+            np.add.at(tau, self.edges[:, 1], self.costs)
+        return tau
+
+    def max_cost_degree(self) -> float:
+        """``Δ_c = max_v c(δ(v))`` (Theorem 4's degree term)."""
+        tau = self.cost_degree()
+        return float(np.max(tau)) if tau.size else 0.0
+
+    def cost_norm(self, p: float) -> float:
+        """``‖c‖_p`` over all edges."""
+        return pnorm(self.costs, p)
+
+    def total_cost(self) -> float:
+        """``‖c‖₁``."""
+        return float(np.sum(self.costs))
+
+    # ------------------------------------------------------------------
+    # cuts and boundaries
+    # ------------------------------------------------------------------
+    def _member_mask(self, members) -> np.ndarray:
+        members = np.asarray(members)
+        if members.dtype == bool:
+            if members.size != self.n:
+                raise ValueError("boolean mask has wrong length")
+            return members
+        return mask_from_indices(members, self.n)
+
+    def cut_edges(self, members) -> np.ndarray:
+        """Edge ids of ``δ(U)`` — edges with exactly one endpoint in ``U``."""
+        if self.m == 0:
+            return np.zeros(0, dtype=np.int64)
+        mask = self._member_mask(members)
+        cut = mask[self.edges[:, 0]] != mask[self.edges[:, 1]]
+        return np.flatnonzero(cut).astype(np.int64)
+
+    def boundary_cost(self, members) -> float:
+        """``∂U = c(δ(U))`` (Definition 3)."""
+        if self.m == 0:
+            return 0.0
+        mask = self._member_mask(members)
+        cut = mask[self.edges[:, 0]] != mask[self.edges[:, 1]]
+        return float(np.sum(self.costs[cut]))
+
+    def boundary_per_class(self, labels: np.ndarray, k: int) -> np.ndarray:
+        """Per-class boundary cost vector ``∂χ⁻¹ : [k] → R+``.
+
+        Every bichromatic edge contributes its cost to *both* endpoint
+        classes (each class sees it as a boundary edge).  Labels may contain
+        ``-1`` for uncolored vertices; edges touching uncolored vertices
+        count toward the colored endpoint's class only.
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        out = np.zeros(k, dtype=np.float64)
+        if self.m == 0:
+            return out
+        lu = labels[self.edges[:, 0]]
+        lv = labels[self.edges[:, 1]]
+        bichromatic = lu != lv
+        if not np.any(bichromatic):
+            return out
+        lu = lu[bichromatic]
+        lv = lv[bichromatic]
+        ec = self.costs[bichromatic]
+        sel = lu >= 0
+        np.add.at(out, lu[sel], ec[sel])
+        sel = lv >= 0
+        np.add.at(out, lv[sel], ec[sel])
+        return out
+
+    def cut_cost_between(self, a_members, b_members) -> float:
+        """Total cost of edges with one endpoint in ``A`` and one in ``B``."""
+        if self.m == 0:
+            return 0.0
+        a = self._member_mask(a_members)
+        b = self._member_mask(b_members)
+        u, v = self.edges[:, 0], self.edges[:, 1]
+        cross = (a[u] & b[v]) | (a[v] & b[u])
+        return float(np.sum(self.costs[cross]))
+
+    def bichromatic_vertex_cost(self, labels: np.ndarray) -> np.ndarray:
+        """Proposition 7's measure ``Ψ(v) = c({uv ∈ E : χ(u) ≠ χ(v)})``.
+
+        Uncolored vertices (label ``-1``) are treated as their own color.
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        psi = np.zeros(self.n, dtype=np.float64)
+        if self.m == 0:
+            return psi
+        u, v = self.edges[:, 0], self.edges[:, 1]
+        bichromatic = (labels[u] != labels[v]) | (labels[u] < 0)
+        np.add.at(psi, u[bichromatic], self.costs[bichromatic])
+        np.add.at(psi, v[bichromatic], self.costs[bichromatic])
+        return psi
+
+    # ------------------------------------------------------------------
+    # subgraphs
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices) -> "Subgraph":
+        """Induced subgraph ``G[W]`` with origin maps.
+
+        ``vertices`` may be an index array or boolean mask.  The result keeps
+        track of the original vertex and edge ids so splitting sets computed
+        locally can be lifted back to the host graph.
+        """
+        mask = self._member_mask(vertices)
+        verts = np.flatnonzero(mask).astype(np.int64)
+        local_id = np.full(self.n, -1, dtype=np.int64)
+        local_id[verts] = np.arange(verts.size, dtype=np.int64)
+        if self.m:
+            keep = mask[self.edges[:, 0]] & mask[self.edges[:, 1]]
+            eidx = np.flatnonzero(keep).astype(np.int64)
+            sub_edges = local_id[self.edges[eidx]]
+            sub_costs = self.costs[eidx]
+        else:
+            eidx = np.zeros(0, dtype=np.int64)
+            sub_edges = np.zeros((0, 2), dtype=np.int64)
+            sub_costs = np.zeros(0, dtype=np.float64)
+        coords = self.coords[verts] if self.coords is not None else None
+        g = Graph(verts.size, sub_edges, sub_costs, coords=coords, _validate=False)
+        return Subgraph(graph=g, vertices=verts, edge_ids=eidx, parent=self)
+
+    def with_costs(self, costs) -> "Graph":
+        """Copy of this graph with a different cost vector."""
+        return Graph(self.n, self.edges.copy(), costs, coords=self.coords, _validate=False)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        d = "" if self.coords is None else f", d={self.coords.shape[1]}"
+        return f"Graph(n={self.n}, m={self.m}{d})"
+
+
+@dataclass(frozen=True)
+class Subgraph:
+    """An induced subgraph together with its origin maps.
+
+    ``graph`` is a standalone :class:`Graph` over local ids ``0..|W|-1``;
+    ``vertices[i]`` is the host id of local vertex ``i`` and ``edge_ids[j]``
+    the host id of local edge ``j``.
+    """
+
+    graph: Graph
+    vertices: np.ndarray
+    edge_ids: np.ndarray
+    parent: Optional[Graph] = field(default=None, repr=False)
+
+    def to_parent(self, local_indices) -> np.ndarray:
+        """Lift local vertex indices back to host-graph ids."""
+        return self.vertices[as_index_array(local_indices)]
+
+
+def _running_rank(sorted_keys: np.ndarray) -> np.ndarray:
+    """For a sorted key array, the running occurrence index of each key.
+
+    e.g. [0,0,0,2,2,5] -> [0,1,2,0,1,0].  Used for vectorized CSR fills.
+    """
+    n = sorted_keys.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    idx = np.arange(n, dtype=np.int64)
+    starts = np.zeros(n, dtype=np.int64)
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    starts[new_group] = idx[new_group]
+    np.maximum.accumulate(starts, out=starts)
+    return idx - starts

@@ -1,0 +1,62 @@
+"""Graph serialization: npz archives and plain edge-list text files."""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["save_npz", "load_npz", "read_edgelist", "write_edgelist"]
+
+
+def save_npz(path, g: Graph, weights: np.ndarray | None = None) -> None:
+    """Persist a graph (and optional vertex weights) to a ``.npz`` archive."""
+    data = {"n": np.asarray([g.n]), "edges": g.edges, "costs": g.costs}
+    if g.coords is not None:
+        data["coords"] = g.coords
+    if weights is not None:
+        data["weights"] = np.asarray(weights, dtype=np.float64)
+    np.savez_compressed(path, **data)
+
+
+def load_npz(path) -> tuple[Graph, np.ndarray | None]:
+    """Load a graph (and vertex weights, if present) from :func:`save_npz`."""
+    with np.load(path) as archive:
+        n = int(archive["n"][0])
+        coords = archive["coords"] if "coords" in archive.files else None
+        g = Graph(n, archive["edges"], archive["costs"], coords=coords, _validate=False)
+        weights = archive["weights"].copy() if "weights" in archive.files else None
+    return g, weights
+
+
+def read_edgelist(path, n: int | None = None) -> Graph:
+    """Read a whitespace-separated edge list: ``u v [cost]`` per line.
+
+    Lines starting with ``#`` are comments.  ``n`` defaults to
+    ``max vertex id + 1``.
+    """
+    us, vs, cs = [], [], []
+    for raw in pathlib.Path(path).read_text().splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise ValueError(f"bad edge line: {raw!r}")
+        us.append(int(parts[0]))
+        vs.append(int(parts[1]))
+        cs.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    edges = np.column_stack([us, vs]) if us else np.zeros((0, 2), dtype=np.int64)
+    nn = n if n is not None else (int(edges.max()) + 1 if edges.size else 0)
+    return Graph(nn, edges, np.asarray(cs, dtype=np.float64))
+
+
+def write_edgelist(path, g: Graph) -> None:
+    """Write a ``u v cost`` edge list."""
+    lines = [f"# n={g.n} m={g.m}"]
+    for eid in range(g.m):
+        u, v = g.edges[eid]
+        lines.append(f"{u} {v} {g.costs[eid]:.12g}")
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")

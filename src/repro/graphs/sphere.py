@@ -1,0 +1,94 @@
+"""Triangulated sphere meshes — the paper's climate-simulation surface.
+
+§1's running example subdivides "the surface of the earth … into many
+triangular regions".  :func:`icosphere` builds exactly that object: a
+geodesic grid obtained by repeatedly subdividing an icosahedron and
+projecting onto the unit sphere.  The resulting graph is a bounded-degree
+(≤ 6, twelve degree-5 vertices) planar-on-the-sphere triangulation with a
+2-separator theorem, i.e. squarely inside the paper's "well-behaved with
+p-separator theorem" class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["icosphere", "icosphere_points"]
+
+
+def _icosahedron() -> tuple[np.ndarray, np.ndarray]:
+    """Vertices (12, 3) and faces (20, 3) of a unit icosahedron."""
+    phi = (1.0 + np.sqrt(5.0)) / 2.0
+    verts = np.array(
+        [
+            [-1, phi, 0], [1, phi, 0], [-1, -phi, 0], [1, -phi, 0],
+            [0, -1, phi], [0, 1, phi], [0, -1, -phi], [0, 1, -phi],
+            [phi, 0, -1], [phi, 0, 1], [-phi, 0, -1], [-phi, 0, 1],
+        ],
+        dtype=np.float64,
+    )
+    verts /= np.linalg.norm(verts, axis=1, keepdims=True)
+    faces = np.array(
+        [
+            [0, 11, 5], [0, 5, 1], [0, 1, 7], [0, 7, 10], [0, 10, 11],
+            [1, 5, 9], [5, 11, 4], [11, 10, 2], [10, 7, 6], [7, 1, 8],
+            [3, 9, 4], [3, 4, 2], [3, 2, 6], [3, 6, 8], [3, 8, 9],
+            [4, 9, 5], [2, 4, 11], [6, 2, 10], [8, 6, 7], [9, 8, 1],
+        ],
+        dtype=np.int64,
+    )
+    return verts, faces
+
+
+def icosphere_points(subdivisions: int = 2) -> tuple[np.ndarray, np.ndarray]:
+    """Vertices and triangular faces of a geodesic sphere.
+
+    Each subdivision splits every triangle into four; ``n = 10·4^s + 2``.
+    """
+    if subdivisions < 0:
+        raise ValueError("subdivisions must be >= 0")
+    verts, faces = _icosahedron()
+    vert_list = [tuple(v) for v in verts]
+    index = {v: i for i, v in enumerate(vert_list)}
+    midpoint_cache: dict[tuple[int, int], int] = {}
+
+    def midpoint(a: int, b: int) -> int:
+        key = (min(a, b), max(a, b))
+        if key in midpoint_cache:
+            return midpoint_cache[key]
+        p = np.asarray(vert_list[a]) + np.asarray(vert_list[b])
+        p /= np.linalg.norm(p)
+        t = tuple(np.round(p, 12))
+        if t not in index:
+            index[t] = len(vert_list)
+            vert_list.append(t)
+        midpoint_cache[key] = index[t]
+        return index[t]
+
+    cur_faces = faces
+    for _ in range(subdivisions):
+        new_faces = []
+        for a, b, c in cur_faces:
+            ab = midpoint(int(a), int(b))
+            bc = midpoint(int(b), int(c))
+            ca = midpoint(int(c), int(a))
+            new_faces.extend([(a, ab, ca), (b, bc, ab), (c, ca, bc), (ab, bc, ca)])
+        cur_faces = np.asarray(new_faces, dtype=np.int64)
+    return np.asarray(vert_list, dtype=np.float64), cur_faces
+
+
+def icosphere(subdivisions: int = 2) -> Graph:
+    """Geodesic-sphere graph: vertices = regions, edges = adjacent regions.
+
+    Bounded degree (≤ 6); ``n = 10·4^s + 2`` vertices, ``30·4^s`` edges.
+    """
+    verts, faces = icosphere_points(subdivisions)
+    n = verts.shape[0]
+    pairs = set()
+    for a, b, c in faces:
+        for u, v in ((a, b), (b, c), (c, a)):
+            pairs.add((min(int(u), int(v)), max(int(u), int(v))))
+    edges = np.asarray(sorted(pairs), dtype=np.int64)
+    return Graph(n, edges)

@@ -1,0 +1,64 @@
+"""Well-behavedness checks (§2, Appendix A.3).
+
+The paper's upper/lower bound translation requires instances that are
+"well-behaved": bounded maximum degree ``Δ`` and bounded local fluctuation
+``φ_ℓ(c) = max_{u ∈ e} c(δ(u))/c(e)``.  For unit costs ``φ_ℓ = Δ``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .costs import fluctuation, local_fluctuation
+from .graph import Graph
+
+__all__ = ["WellBehavedness", "assess", "is_grid_graph"]
+
+
+@dataclass(frozen=True)
+class WellBehavedness:
+    """Summary of the §2 well-behavedness parameters of an instance."""
+
+    max_degree: int
+    local_fluct: float
+    global_fluct: float
+    positive_costs: bool
+
+    def is_well_behaved(self, degree_bound: int = 16, local_fluct_bound: float = 64.0) -> bool:
+        """Whether the instance meets the (configurable) boundedness thresholds."""
+        return (
+            self.positive_costs
+            and self.max_degree <= degree_bound
+            and self.local_fluct <= local_fluct_bound
+        )
+
+
+def assess(g: Graph, costs: np.ndarray | None = None) -> WellBehavedness:
+    """Compute the well-behavedness report of ``(G, c)``."""
+    c = g.costs if costs is None else np.asarray(costs, dtype=np.float64)
+    positive = bool(c.size == 0 or np.min(c) > 0)
+    return WellBehavedness(
+        max_degree=g.max_degree(),
+        local_fluct=local_fluctuation(g, c) if positive else np.inf,
+        global_fluct=fluctuation(c) if positive else np.inf,
+        positive_costs=positive,
+    )
+
+
+def is_grid_graph(g: Graph) -> bool:
+    """Whether ``g`` satisfies §6's grid-graph definition.
+
+    Requires coordinates, distinct coordinates, and every edge joining
+    points at L1-distance exactly 1.
+    """
+    if g.coords is None:
+        return False
+    coords = g.coords
+    if np.unique(coords, axis=0).shape[0] != g.n:
+        return False
+    if g.m == 0:
+        return True
+    dist = np.sum(np.abs(coords[g.edges[:, 0]] - coords[g.edges[:, 1]]), axis=1)
+    return bool(np.all(dist == 1))

@@ -1,0 +1,90 @@
+"""Vertex-weight generators.
+
+Definition 2 takes a supremum over *all* weights; these families exercise
+the regimes that stress the algorithm: heavy-tailed weights (large ``‖w‖∞``
+relative to the average class weight), near-degenerate weights, and the
+adversarial per-copy weights of the Lemma 40 tightness construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng
+from .graph import Graph
+
+__all__ = [
+    "unit_weights",
+    "uniform_weights",
+    "zipf_weights",
+    "bimodal_weights",
+    "exponential_weights",
+    "one_heavy_weights",
+    "geometric_weights",
+]
+
+
+def unit_weights(g: Graph) -> np.ndarray:
+    """``w ≡ 1`` — the Kiwi–Spielman–Teng setting."""
+    return np.ones(g.n, dtype=np.float64)
+
+
+def uniform_weights(g: Graph, low: float = 0.5, high: float = 1.5, rng=None) -> np.ndarray:
+    """i.i.d. uniform weights."""
+    if not (0 <= low <= high):
+        raise ValueError("need 0 <= low <= high")
+    return as_rng(rng).uniform(low, high, size=g.n)
+
+
+def zipf_weights(g: Graph, alpha: float = 1.2, rng=None) -> np.ndarray:
+    """Power-law weights ``w_i ∝ rank^(−alpha)``, randomly permuted.
+
+    Mimics the §1 climate example where per-region simulation time varies
+    "tremendously" with day-time and accuracy.
+    """
+    gen = as_rng(rng)
+    ranks = np.arange(1, g.n + 1, dtype=np.float64)
+    w = ranks ** (-alpha)
+    return gen.permutation(w * (g.n / w.sum())) if g.n else w
+
+
+def bimodal_weights(g: Graph, heavy_fraction: float = 0.05, ratio: float = 50.0, rng=None) -> np.ndarray:
+    """A small fraction of vertices ``ratio`` times heavier than the rest."""
+    gen = as_rng(rng)
+    w = np.ones(g.n, dtype=np.float64)
+    n_heavy = max(1, int(round(heavy_fraction * g.n))) if g.n else 0
+    if n_heavy:
+        idx = gen.choice(g.n, size=min(n_heavy, g.n), replace=False)
+        w[idx] = ratio
+    return w
+
+
+def exponential_weights(g: Graph, scale: float = 1.0, rng=None) -> np.ndarray:
+    """i.i.d. exponential weights (strictly positive)."""
+    return as_rng(rng).exponential(scale, size=g.n) + 1e-12
+
+
+def one_heavy_weights(g: Graph, heavy: float | None = None) -> np.ndarray:
+    """Unit weights plus a single heavy vertex.
+
+    With ``heavy ≈ ‖w‖₁/k`` this forces the ``‖w‖∞``-term of Definition 1's
+    balance window to bind: one class is essentially the heavy vertex alone.
+    """
+    w = np.ones(g.n, dtype=np.float64)
+    if g.n:
+        w[0] = float(heavy) if heavy is not None else max(1.0, g.n / 8.0)
+    return w
+
+
+def geometric_weights(g: Graph, ratio: float = 1.01) -> np.ndarray:
+    """Deterministic geometric progression, normalized to mean 1.
+
+    The paper's remark after Definition 1 notes that for many
+    ``(k, ‖w‖∞, ‖w‖₁)`` combinations equality in the balance window is
+    forced; geometric weights realize many such tight residues.
+    """
+    if ratio <= 0:
+        raise ValueError("ratio must be positive")
+    w = ratio ** np.arange(g.n, dtype=np.float64)
+    s = w.sum()
+    return w * (g.n / s) if s > 0 else w

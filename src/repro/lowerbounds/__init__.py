@@ -1,0 +1,27 @@
+"""Tightness machinery: Lemma 40 instances, exact solvers, certificates."""
+
+from .certificates import (
+    LowerBoundCertificate,
+    average_boundary_certificate,
+    base_cut_floor,
+    grid_balanced_cut_floor,
+)
+from .exact import (
+    exact_min_max_boundary,
+    min_balanced_edge_cut,
+    min_balanced_separator_cost,
+)
+from .tight_instances import TightInstance, copy_cut_certificate, tight_instance
+
+__all__ = [
+    "TightInstance",
+    "tight_instance",
+    "copy_cut_certificate",
+    "exact_min_max_boundary",
+    "min_balanced_edge_cut",
+    "min_balanced_separator_cost",
+    "grid_balanced_cut_floor",
+    "base_cut_floor",
+    "average_boundary_certificate",
+    "LowerBoundCertificate",
+]

@@ -1,0 +1,114 @@
+"""Lemma 40 / Corollary 41: tight instances for the lower bound.
+
+``G̃`` is the disjoint union of ``⌊k/4⌋`` isomorphic copies of a base graph
+whose every balanced separation is expensive; weights extend per copy with
+``‖w‖∞ ≤ ‖w‖₁/4``.  Every *roughly* balanced k-coloring of ``G̃`` (max class
+weight ≤ 2·average) then pays average boundary
+``Ω(b · k^(−1/p) · ‖c̃‖_p / φ_ℓ)`` — matching Theorem 5's upper bound, so
+neither relaxing strictness nor averaging the boundary can beat it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.coloring import Coloring
+from ..graphs.builders import disjoint_union
+from ..graphs.graph import Graph
+
+__all__ = ["TightInstance", "tight_instance", "copy_cut_certificate"]
+
+
+@dataclass(frozen=True)
+class TightInstance:
+    """A Lemma 40 instance: copies of a base graph with extended weights."""
+
+    graph: Graph
+    weights: np.ndarray
+    base: Graph
+    base_weights: np.ndarray
+    copies: int
+    k: int
+
+    @property
+    def copy_of(self) -> np.ndarray:
+        """Copy index of each vertex of ``graph``."""
+        return np.repeat(np.arange(self.copies), self.base.n)
+
+    def is_roughly_balanced(self, coloring: Coloring, tol: float = 1e-9) -> bool:
+        """Lemma 40's premise: every class ≤ 2·‖w̃‖_avg."""
+        cw = coloring.class_weights(self.weights)
+        return bool(np.all(cw <= 2.0 * self.weights.sum() / self.k + tol))
+
+
+def tight_instance(base: Graph, k: int, base_weights=None) -> TightInstance:
+    """Build ``G̃`` = ``⌊k/4⌋`` disjoint copies of ``base`` (Theorem 5).
+
+    ``base_weights`` default to unit weights; the construction requires
+    ``k ≥ 4`` and ``‖w‖∞ ≤ ‖w‖₁/4`` (checked).
+    """
+    if k < 4:
+        raise ValueError("the Lemma 40 construction needs k >= 4")
+    w_base = (
+        np.ones(base.n, dtype=np.float64)
+        if base_weights is None
+        else np.asarray(base_weights, dtype=np.float64)
+    )
+    if w_base.size and w_base.max() > w_base.sum() / 4.0 + 1e-12:
+        raise ValueError("Lemma 40 requires ‖w‖∞ ≤ ‖w‖₁/4 on the base graph")
+    copies = k // 4
+    tilde = disjoint_union([base] * copies)
+    w_tilde = np.tile(w_base, copies)
+    return TightInstance(
+        graph=tilde,
+        weights=w_tilde,
+        base=base,
+        base_weights=w_base,
+        copies=copies,
+        k=k,
+    )
+
+
+def copy_cut_certificate(inst: TightInstance, coloring: Coloring) -> np.ndarray:
+    """Run Lemma 40's argument forward: per-copy certified cut costs.
+
+    For each copy, greedily pack the color classes (restricted to the copy)
+    into two groups ``R``/``B`` of weight ≤ (2/3)·copy weight each, and
+    measure ``c(δ(U*))`` for ``U* = ∪_{j∈R} χ⁻¹(j) ∩ copy`` — a balanced cut
+    of the copy, hence ≥ the copy's min balanced cut.  Summing over copies
+    lower-bounds ``‖∂χ⁻¹‖₁`` (each δ(U*) edge is a boundary edge of both an
+    R-class and a B-class).
+
+    Returns the per-copy ``c(δ(U*))`` vector; the certified average-boundary
+    floor is ``sum(percopy)/k`` — provided the coloring is roughly balanced,
+    which callers should check via :meth:`TightInstance.is_roughly_balanced`.
+    """
+    g = inst.graph
+    w = inst.weights
+    k = coloring.k
+    copy_of = inst.copy_of
+    out = np.zeros(inst.copies)
+    for c in range(inst.copies):
+        members = np.flatnonzero(copy_of == c)
+        local_labels = coloring.labels[members]
+        cw = np.bincount(
+            local_labels[local_labels >= 0],
+            weights=w[members][local_labels >= 0],
+            minlength=k,
+        )
+        total = float(cw.sum())
+        if total == 0:
+            continue
+        # greedy two-sided packing of class weights, heaviest first
+        side = np.zeros(k, dtype=np.int8)
+        loads = [0.0, 0.0]
+        for j in np.argsort(-cw):
+            s = 0 if loads[0] <= loads[1] else 1
+            side[j] = s
+            loads[s] += float(cw[j])
+        r_classes = np.flatnonzero(side == 0)
+        u_star = members[np.isin(local_labels, r_classes)]
+        out[c] = g.boundary_cost(u_star)
+    return out

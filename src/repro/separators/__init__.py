@@ -1,0 +1,72 @@
+"""Splitting-set oracles and separator machinery (Definition 3, Lemma 37, §6)."""
+
+from .interface import SplitResult, SplittingOracle, check_split_window, split_result
+from .orders import (
+    bfs_peripheral_order,
+    fiedler_order,
+    fiedler_vector,
+    index_order,
+    lexicographic_order,
+    prefix_split,
+    random_order,
+    sweep_split,
+)
+from .oracles import (
+    BestOfOracle,
+    BfsOracle,
+    IndexOracle,
+    LexOracle,
+    RandomOracle,
+    RefinedOracle,
+    SpectralOracle,
+    default_oracle,
+)
+from .grid import GridOracle, GridSplitTrace, grid_split, is_monotone, theorem19_bound
+from .fm import fm_refine
+from .conversion import (
+    Separation,
+    SeparatorBasedOracle,
+    bfs_level_separator,
+    fiedler_separator,
+    is_balanced_separation,
+    nested_dissection_order,
+    separation_from_splitting,
+    vertex_costs,
+)
+
+__all__ = [
+    "SplittingOracle",
+    "SplitResult",
+    "check_split_window",
+    "split_result",
+    "index_order",
+    "lexicographic_order",
+    "bfs_peripheral_order",
+    "random_order",
+    "fiedler_order",
+    "fiedler_vector",
+    "prefix_split",
+    "sweep_split",
+    "IndexOracle",
+    "LexOracle",
+    "BfsOracle",
+    "SpectralOracle",
+    "RandomOracle",
+    "BestOfOracle",
+    "RefinedOracle",
+    "default_oracle",
+    "GridOracle",
+    "GridSplitTrace",
+    "grid_split",
+    "is_monotone",
+    "theorem19_bound",
+    "fm_refine",
+    "vertex_costs",
+    "bfs_level_separator",
+    "fiedler_separator",
+    "Separation",
+    "separation_from_splitting",
+    "nested_dissection_order",
+    "SeparatorBasedOracle",
+    "is_balanced_separation",
+]

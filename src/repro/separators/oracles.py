@@ -1,0 +1,162 @@
+"""Concrete splitting oracles.
+
+All oracles honor Definition 3's weight window *unconditionally*; they differ
+in cut quality and cost model:
+
+================  ====================================================
+``IndexOracle``   id-order prefix — the "any order works" control
+``LexOracle``     lexicographic/grid order prefix (monotone on grids)
+``BfsOracle``     BFS-layer sweep from a pseudo-peripheral vertex
+``SpectralOracle``Fiedler-order sweep cut (default general-purpose)
+``BestOfOracle``  min-cut over a portfolio of oracles
+``RefinedOracle`` any oracle + FM local refinement
+``GridOracle``    §6 ``GridSplit`` (see :mod:`repro.separators.grid`)
+================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .fm import fm_refine
+from .orders import (
+    bfs_peripheral_order,
+    fiedler_order,
+    index_order,
+    lexicographic_order,
+    prefix_split,
+    random_order,
+    sweep_split,
+)
+
+__all__ = [
+    "IndexOracle",
+    "LexOracle",
+    "BfsOracle",
+    "SpectralOracle",
+    "RandomOracle",
+    "BestOfOracle",
+    "RefinedOracle",
+    "default_oracle",
+]
+
+
+class _OrderOracle:
+    """Base for oracles that split a fixed vertex order."""
+
+    #: whether to sweep for the cheapest in-window prefix (vs nearest prefix)
+    sweep: bool = True
+
+    def order(self, g: Graph) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def split(self, g: Graph, weights: np.ndarray, target: float) -> np.ndarray:
+        order = self.order(g)
+        if self.sweep and g.m:
+            return sweep_split(g, order, weights, target)
+        return prefix_split(order, weights, target)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return type(self).__name__
+
+
+class IndexOracle(_OrderOracle):
+    """Prefix of the identity order (no structure exploited)."""
+
+    sweep = False
+
+    def order(self, g: Graph) -> np.ndarray:
+        return index_order(g)
+
+
+class LexOracle(_OrderOracle):
+    """Prefix of the coordinate-lexicographic order.
+
+    On grid graphs prefixes are monotone sets (Lemma 22); this is the ℓ = 1
+    base case of ``GridSplit``.
+    """
+
+    def order(self, g: Graph) -> np.ndarray:
+        return lexicographic_order(g)
+
+
+class BfsOracle(_OrderOracle):
+    """Sweep over the BFS order from a pseudo-peripheral vertex."""
+
+    def order(self, g: Graph) -> np.ndarray:
+        return bfs_peripheral_order(g)
+
+
+class SpectralOracle(_OrderOracle):
+    """Sweep cut over the Fiedler order of the cost-weighted Laplacian."""
+
+    def order(self, g: Graph) -> np.ndarray:
+        return fiedler_order(g)
+
+
+class RandomOracle(_OrderOracle):
+    """Prefix of a seeded random order — the quality floor."""
+
+    sweep = False
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def order(self, g: Graph) -> np.ndarray:
+        return random_order(g, rng=self.seed)
+
+
+class BestOfOracle:
+    """Run a portfolio of oracles, keep the cheapest valid cut."""
+
+    def __init__(self, oracles: Sequence | None = None):
+        self.oracles = list(oracles) if oracles is not None else [BfsOracle(), SpectralOracle(), LexOracle()]
+
+    def split(self, g: Graph, weights: np.ndarray, target: float) -> np.ndarray:
+        best = None
+        best_cost = np.inf
+        for oracle in self.oracles:
+            u = oracle.split(g, weights, target)
+            cost = g.boundary_cost(u)
+            if cost < best_cost:
+                best, best_cost = u, cost
+        assert best is not None
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BestOfOracle({self.oracles!r})"
+
+
+class RefinedOracle:
+    """Wrap an oracle with an FM refinement pass (window-preserving)."""
+
+    def __init__(self, base=None, max_passes: int = 3):
+        self.base = base if base is not None else SpectralOracle()
+        self.max_passes = max_passes
+
+    def split(self, g: Graph, weights: np.ndarray, target: float) -> np.ndarray:
+        u = self.base.split(g, weights, target)
+        if g.n > 20_000:
+            # FM is a python loop over boundary vertices; skip on big inputs
+            return u
+        return fm_refine(g, u, weights, target, max_passes=self.max_passes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RefinedOracle({self.base!r})"
+
+
+def default_oracle(g: Graph | None = None):
+    """The library default: grid-aware best-of portfolio.
+
+    Grids get ``GridSplit`` in the mix (imported lazily to avoid a cycle).
+    """
+    from .grid import GridOracle
+
+    oracles = [BfsOracle(), SpectralOracle()]
+    if g is not None and g.coords is not None:
+        oracles.append(GridOracle())
+        oracles.append(LexOracle())
+    return BestOfOracle(oracles)

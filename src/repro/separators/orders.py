@@ -1,0 +1,186 @@
+"""Vertex orderings and order-based splitting.
+
+Any total order of the vertices induces valid splitting sets: scanning the
+order, prefix sums of ``w`` move in steps of at most ``‖w‖∞``, so some prefix
+lands within ``‖w‖∞/2`` of the splitting value (Definition 3's window).  The
+*cut quality* of the prefix is what distinguishes orders:
+
+* lexicographic/grid orders — the §6 base case; monotone sets on grids,
+* BFS from a pseudo-peripheral vertex — layered separators,
+* Fiedler (spectral) order — sweep cuts, the strongest general-purpose order.
+
+``sweep_split`` additionally scans every prefix inside the valid window and
+keeps the cheapest cut, computed incrementally in ``O(m)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import as_rng, cumulative_prefix_target
+from ..graphs.components import bfs_order, connected_components, pseudo_peripheral_vertex
+from ..graphs.graph import Graph
+
+__all__ = [
+    "index_order",
+    "lexicographic_order",
+    "bfs_peripheral_order",
+    "random_order",
+    "fiedler_order",
+    "fiedler_vector",
+    "prefix_split",
+    "sweep_split",
+]
+
+
+# ----------------------------------------------------------------------
+# orders
+# ----------------------------------------------------------------------
+def index_order(g: Graph) -> np.ndarray:
+    """Vertices by id — the baseline order."""
+    return np.arange(g.n, dtype=np.int64)
+
+
+def lexicographic_order(g: Graph) -> np.ndarray:
+    """Vertices sorted lexicographically by coordinates (grids), else by id.
+
+    On grid graphs every prefix of this order is a *monotone* set
+    (Lemma 22), which the §6 analysis exploits.
+    """
+    if g.coords is None:
+        return index_order(g)
+    keys = tuple(g.coords[:, a] for a in range(g.coords.shape[1] - 1, -1, -1))
+    return np.lexsort(keys).astype(np.int64)
+
+
+def bfs_peripheral_order(g: Graph) -> np.ndarray:
+    """BFS order from a pseudo-peripheral vertex (double-sweep seeded)."""
+    if g.n == 0:
+        return np.zeros(0, dtype=np.int64)
+    return bfs_order(g, pseudo_peripheral_vertex(g))
+
+
+def random_order(g: Graph, rng=None) -> np.ndarray:
+    """Uniformly random order — the control for cut-quality comparisons."""
+    return as_rng(rng).permutation(g.n).astype(np.int64)
+
+
+def fiedler_vector(g: Graph, tol: float = 1e-6) -> np.ndarray:
+    """Fiedler vector of the cost-weighted Laplacian of a *connected* graph.
+
+    Uses dense eigendecomposition below 128 vertices and Lanczos
+    (shift-inverted ``eigsh``) above; falls back to a BFS-distance embedding
+    if the eigensolver fails to converge.
+    """
+    import scipy.sparse as sp
+    import scipy.sparse.linalg as spla
+
+    n = g.n
+    if n <= 2:
+        return np.arange(n, dtype=np.float64)
+    rows = np.concatenate([g.edges[:, 0], g.edges[:, 1]])
+    cols = np.concatenate([g.edges[:, 1], g.edges[:, 0]])
+    vals = np.concatenate([g.costs, g.costs])
+    adj = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    lap = sp.diags(deg) - adj
+    if n < 128:
+        eigvals, eigvecs = np.linalg.eigh(lap.toarray())
+        return eigvecs[:, 1]
+    try:
+        # deterministic start vector for reproducibility
+        v0 = np.cos(np.arange(n, dtype=np.float64))
+        eigvals, eigvecs = spla.eigsh(lap, k=2, sigma=-1e-4, which="LM", v0=v0, tol=tol)
+        order = np.argsort(eigvals)
+        return eigvecs[:, order[1]]
+    except Exception:
+        from ..graphs.components import bfs_levels
+
+        lev = bfs_levels(g, [pseudo_peripheral_vertex(g)])
+        return lev.astype(np.float64)
+
+
+def fiedler_order(g: Graph) -> np.ndarray:
+    """Vertices sorted by Fiedler value, component by component.
+
+    Disconnected graphs are handled by concatenating components (each
+    internally in Fiedler order), which keeps prefixes cut-free across
+    component boundaries.
+    """
+    if g.n == 0:
+        return np.zeros(0, dtype=np.int64)
+    comp = connected_components(g)
+    ncomp = int(comp.max()) + 1 if g.n else 0
+    if ncomp == 1:
+        vec = fiedler_vector(g)
+        return np.argsort(vec, kind="stable").astype(np.int64)
+    pieces = []
+    for cid in range(ncomp):
+        members = np.flatnonzero(comp == cid).astype(np.int64)
+        if members.size <= 2:
+            pieces.append(members)
+            continue
+        sub = g.subgraph(members)
+        vec = fiedler_vector(sub.graph)
+        pieces.append(members[np.argsort(vec, kind="stable")])
+    return np.concatenate(pieces)
+
+
+# ----------------------------------------------------------------------
+# order -> splitting set
+# ----------------------------------------------------------------------
+def prefix_split(order: np.ndarray, weights: np.ndarray, target: float) -> np.ndarray:
+    """The prefix of ``order`` whose weight is nearest ``target``.
+
+    Always a valid Definition 3 splitting set (window ``‖w‖∞/2``).
+    """
+    order = np.asarray(order, dtype=np.int64)
+    w = np.asarray(weights, dtype=np.float64)
+    count = cumulative_prefix_target(w[order], target)
+    return order[:count]
+
+
+def sweep_split(g: Graph, order: np.ndarray, weights: np.ndarray, target: float) -> np.ndarray:
+    """Cheapest-cut prefix among *all* prefixes inside the valid window.
+
+    Incremental sweep: adding vertex ``v`` changes the cut cost by
+    ``c(δ(v)) − 2·c(edges from v into the current prefix)``; total ``O(m)``.
+    Falls back to the nearest prefix (always valid) when the window is
+    empty of alternatives.
+    """
+    order = np.asarray(order, dtype=np.int64)
+    w = np.asarray(weights, dtype=np.float64)
+    n = order.size
+    if n == 0:
+        return order
+    total = float(w.sum())
+    t = min(max(float(target), 0.0), total)
+    wmax = float(w.max()) if w.size else 0.0
+    cum = np.cumsum(w[order])
+    ok = np.abs(cum - t) <= wmax / 2.0 + 1e-12 * max(1.0, wmax)
+    valid_counts = np.flatnonzero(ok) + 1
+    if abs(0.0 - t) <= wmax / 2.0 + 1e-12 * max(1.0, wmax):
+        valid_counts = np.concatenate([[0], valid_counts])
+    if valid_counts.size == 0:
+        return prefix_split(order, weights, target)
+    # incremental cut-cost sweep
+    pos = np.empty(g.n, dtype=np.int64)
+    pos[order] = np.arange(n)
+    tau = g.cost_degree()
+    cut_after = np.empty(n + 1, dtype=np.float64)
+    cut_after[0] = 0.0
+    # For each edge, it is "internal" once both endpoints are in the prefix.
+    # Adding the i-th vertex v: cut += tau(v) - 2 * sum of costs of edges to
+    # vertices already placed.
+    earlier_cost = np.zeros(n, dtype=np.float64)
+    eu, ev = g.edges[:, 0], g.edges[:, 1]
+    pu, pv = pos[eu], pos[ev]
+    late = np.maximum(pu, pv)
+    np.add.at(earlier_cost, late, g.costs)
+    running = 0.0
+    tau_in_order = tau[order]
+    for i in range(n):
+        running += float(tau_in_order[i]) - 2.0 * float(earlier_cost[i])
+        cut_after[i + 1] = running
+    best = valid_counts[int(np.argmin(cut_after[valid_counts]))]
+    return order[:best]

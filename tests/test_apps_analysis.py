@@ -1,0 +1,131 @@
+"""Tests for the machine model, climate workloads, and analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Table,
+    estimate_splittability,
+    evaluate_coloring,
+    theorem4_rhs,
+    theorem5_rhs,
+)
+from repro.apps import MachineModel, climate_workload, evaluate_partitioners
+from repro.baselines import greedy_list_scheduling
+from repro.core import Coloring, min_max_partition
+from repro.graphs import grid_graph, unit_weights
+from repro.separators import BestOfOracle, BfsOracle
+
+FAST = BestOfOracle([BfsOracle()])
+
+
+class TestMachineModel:
+    def test_makespan_decomposition(self):
+        g = grid_graph(6, 6)
+        w = unit_weights(g)
+        chi = Coloring(np.repeat([0, 1], 18), 2)
+        model = MachineModel(k=2, alpha=2.0, beta=0.5)
+        times = model.machine_times(g, chi, w)
+        assert times.shape == (2,)
+        per = chi.boundary_per_class(g)
+        assert np.allclose(times, 2.0 * chi.class_weights(w) + 0.5 * per)
+
+    def test_zero_comm_ideal(self):
+        g = grid_graph(4, 4)
+        chi = Coloring(np.repeat([0, 1], 8), 2)
+        model = MachineModel(k=2, beta=0.0)
+        rep = model.report(g, chi, unit_weights(g))
+        assert rep.makespan == rep.ideal_makespan
+        assert rep.efficiency == 1.0
+
+    def test_k_mismatch_rejected(self):
+        g = grid_graph(3, 3)
+        chi = Coloring.trivial(g.n, 2)
+        with pytest.raises(ValueError):
+            MachineModel(k=3).makespan(g, chi, unit_weights(g))
+
+    def test_min_max_beats_greedy_makespan(self):
+        """§1's point: with real comm costs, topology-aware wins."""
+        g = grid_graph(14, 14)
+        w = unit_weights(g)
+        k = 4
+        model = MachineModel(k=k, alpha=1.0, beta=1.0)
+        ours = min_max_partition(g, k, weights=w, oracle=FAST).coloring
+        greedy = greedy_list_scheduling(g, k, w)
+        assert model.makespan(g, ours, w) < model.makespan(g, greedy, w)
+
+
+class TestClimateWorkload:
+    def test_shapes(self):
+        wl = climate_workload(10, 16, rng=0)
+        assert wl.graph.n == 160
+        assert wl.weights.shape == (160,)
+        assert np.all(wl.weights > 0)
+        assert np.all(wl.graph.costs > 0)
+
+    def test_heavy_tail(self):
+        wl = climate_workload(12, 12, rng=1)
+        assert wl.weights.max() / wl.weights.min() > 3.0
+
+    def test_deterministic_given_seed(self):
+        a = climate_workload(6, 6, rng=7)
+        b = climate_workload(6, 6, rng=7)
+        assert np.allclose(a.weights, b.weights)
+        assert np.allclose(a.graph.costs, b.graph.costs)
+
+    def test_evaluate_partitioners(self):
+        wl = climate_workload(8, 8, rng=2)
+        model = MachineModel(k=4)
+        outcomes = evaluate_partitioners(
+            wl.graph,
+            wl.weights,
+            model,
+            {
+                "greedy": lambda: greedy_list_scheduling(wl.graph, 4, wl.weights),
+                "ours": lambda: min_max_partition(wl.graph, 4, weights=wl.weights, oracle=FAST).coloring,
+            },
+        )
+        names = [o.name for o in outcomes]
+        assert names == ["greedy", "ours"]
+        ours = outcomes[1]
+        assert ours.strictly_balanced
+
+
+class TestAnalysis:
+    def test_evaluate_coloring_panel(self):
+        g = grid_graph(6, 6)
+        w = unit_weights(g)
+        chi = Coloring(np.repeat([0, 1], 18), 2)
+        m = evaluate_coloring(g, chi, w)
+        assert m.strictly_balanced
+        assert m.max_boundary == 6.0
+        assert m.total_cut == 6.0
+        assert m.weight_spread == 0.0
+        assert m.boundary_imbalance == 1.0
+
+    def test_bounds_monotone_in_k(self):
+        g = grid_graph(10, 10)
+        vals4 = theorem4_rhs(g, 4, 2.0)
+        vals16 = theorem4_rhs(g, 16, 2.0)
+        assert vals16 < vals4
+        assert theorem5_rhs(g, 16, 2.0) < theorem5_rhs(g, 4, 2.0)
+
+    def test_estimate_splittability(self):
+        g = grid_graph(8, 8)
+        est = estimate_splittability(g, BfsOracle(), p=2.0, trials=10, rng=0)
+        assert est.sigma_hat > 0
+        assert est.samples > 0
+        # BFS sweeps on a unit grid should have modest splittability
+        assert est.sigma_hat < 6.0
+
+    def test_table_rendering(self):
+        t = Table("demo", ["a", "b"])
+        t.add(1, 2.5)
+        t.add("x", True)
+        out = t.render()
+        assert "demo" in out and "2.50" in out and "yes" in out
+
+    def test_table_rejects_bad_row(self):
+        t = Table("demo", ["a"])
+        with pytest.raises(ValueError):
+            t.add(1, 2)

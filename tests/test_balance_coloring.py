@@ -1,0 +1,108 @@
+"""Tests for balance predicates (Definition 1) and the Coloring container."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Coloring,
+    is_almost_strictly_balanced,
+    is_strictly_balanced,
+    max_deviation,
+    strict_balance_margin,
+    weak_balance_ratio,
+)
+from repro.graphs import from_edges, grid_graph
+
+
+class TestBalancePredicates:
+    def test_perfect_balance(self):
+        cw = np.array([2.0, 2.0, 2.0])
+        assert is_strictly_balanced(cw, 6.0, 1.0, 3)
+        assert strict_balance_margin(cw, 6.0, 1.0, 3) == pytest.approx(2.0 / 3.0)
+
+    def test_definition1_edge_of_window(self):
+        # k=2, wmax=1: window is 0.5; deviation exactly 0.5 passes
+        cw = np.array([2.5, 1.5])
+        assert is_strictly_balanced(cw, 4.0, 1.0, 2)
+        cw_bad = np.array([2.6, 1.4])
+        assert not is_strictly_balanced(cw_bad, 4.0, 1.0, 2)
+
+    def test_greedy_window_matches_graham(self):
+        """The window equals list scheduling's guarantee: spread ≤ wmax ⇒ strict."""
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            k = int(rng.integers(2, 8))
+            w = rng.uniform(0.1, 5.0, size=int(rng.integers(k, 60)))
+            # list scheduling
+            loads = np.zeros(k)
+            for x in w:
+                loads[np.argmin(loads)] += x
+            assert is_strictly_balanced(loads, float(w.sum()), float(w.max()), k)
+
+    def test_almost_strict(self):
+        cw = np.array([4.0, 0.5])
+        # avg 2.25, deviations 1.75 ≤ 2·1.0
+        assert is_almost_strictly_balanced(cw, 4.5, 1.0, 2)
+        assert not is_strictly_balanced(cw, 4.5, 1.0, 2)
+
+    def test_max_deviation(self):
+        assert max_deviation(np.array([1.0, 3.0]), 4.0, 2) == 1.0
+
+    def test_weak_balance_ratio(self):
+        assert weak_balance_ratio(np.array([6.0, 2.0]), 8.0, 2.0, 2) == 1.0
+        assert weak_balance_ratio(np.zeros(2), 0.0, 0.0, 2) == 0.0
+
+
+class TestColoring:
+    def test_trivial(self):
+        c = Coloring.trivial(5, 3)
+        assert c.class_sizes().tolist() == [5, 0, 0]
+        assert c.is_total()
+
+    def test_round_robin(self):
+        c = Coloring.round_robin(7, 3)
+        assert c.class_sizes().tolist() == [3, 2, 2]
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            Coloring(np.array([0, 5]), 2)
+        with pytest.raises(ValueError):
+            Coloring(np.array([0, -2]), 2)
+
+    def test_class_weights(self):
+        c = Coloring(np.array([0, 0, 1, -1]), 2)
+        w = np.array([1.0, 2.0, 3.0, 4.0])
+        assert c.class_weights(w).tolist() == [3.0, 3.0]
+
+    def test_boundary_metrics(self):
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)], costs=[1.0, 5.0, 1.0])
+        c = Coloring(np.array([0, 0, 1, 1]), 2)
+        assert c.max_boundary(g) == 5.0
+        assert c.avg_boundary(g) == 5.0
+        per = c.boundary_per_class(g)
+        assert per.tolist() == [5.0, 5.0]
+
+    def test_direct_sum(self):
+        a = Coloring(np.array([0, -1, -1, 1]), 2)
+        b = Coloring(np.array([-1, 1, 0, -1]), 2)
+        c = a.direct_sum(b)
+        assert c.labels.tolist() == [0, 1, 0, 1]
+
+    def test_direct_sum_rejects_overlap(self):
+        a = Coloring(np.array([0, 0]), 2)
+        b = Coloring(np.array([1, -1]), 2)
+        with pytest.raises(ValueError):
+            a.direct_sum(b)
+
+    def test_restrict(self):
+        c = Coloring(np.array([0, 1, 0, 1]), 2)
+        r = c.restrict(np.array([0, 1]))
+        assert r.labels.tolist() == [0, 1, -1, -1]
+        assert not r.is_total()
+
+    def test_strict_balance_on_grid_labels(self):
+        g = grid_graph(4, 4)
+        w = np.ones(g.n)
+        c = Coloring(np.repeat(np.arange(4), 4), 4)
+        assert c.is_strictly_balanced(w)
+        assert c.balance_margin(w) == pytest.approx(0.75)

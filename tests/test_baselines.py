@@ -1,0 +1,134 @@
+"""Tests for the baseline partitioners (§1 Previous Work)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    greedy_list_scheduling,
+    kst_partition,
+    lpt_partition,
+    multilevel_partition,
+    random_balanced_partition,
+    recursive_bisection,
+)
+from repro.core import min_max_partition
+from repro.graphs import grid_graph, triangulated_mesh, unit_weights, zipf_weights
+from repro.separators import BestOfOracle, BfsOracle
+
+FAST = BestOfOracle([BfsOracle()])
+
+
+class TestGreedy:
+    def test_strict_balance_always(self):
+        """Graham's bound: greedy achieves Definition 1's exact window."""
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            g = grid_graph(int(rng.integers(3, 9)), int(rng.integers(3, 9)))
+            k = int(rng.integers(2, 7))
+            w = rng.exponential(1.0, g.n) + 0.01
+            for fn in (greedy_list_scheduling, lpt_partition):
+                chi = fn(g, k, w)
+                assert chi.is_strictly_balanced(w), fn.__name__
+
+    def test_greedy_boundary_is_terrible_on_grid(self):
+        """§1: greedy ignores the graph — boundary ≈ Θ(m/k), far above ours."""
+        g = grid_graph(16, 16)
+        k = 4
+        ours = min_max_partition(g, k, oracle=FAST).max_boundary(g)
+        greedy = greedy_list_scheduling(g, k).max_boundary(g)
+        assert greedy > 2.5 * ours
+
+    def test_lpt_heaviest_first(self):
+        g = grid_graph(5, 5)
+        w = np.arange(1.0, 26.0)
+        chi = lpt_partition(g, 3, w)
+        assert chi.is_strictly_balanced(w)
+
+    def test_random_balanced(self):
+        g = grid_graph(6, 6)
+        chi = random_balanced_partition(g, 4, rng=1)
+        assert chi.is_strictly_balanced(unit_weights(g))
+
+
+class TestRecursiveBisection:
+    def test_total_and_roughly_balanced(self):
+        g = grid_graph(12, 12)
+        w = unit_weights(g)
+        for k in [2, 3, 4, 8]:
+            chi = recursive_bisection(g, k, w, oracle=FAST)
+            assert chi.is_total()
+            cw = chi.class_weights(w)
+            avg = w.sum() / k
+            # oracle window compounds over log2(k) levels
+            assert np.all(np.abs(cw - avg) <= np.ceil(np.log2(k)) * w.max() + 1e-9)
+
+    def test_cut_quality_on_grid(self):
+        g = grid_graph(16, 16)
+        chi = recursive_bisection(g, 4, unit_weights(g), oracle=FAST)
+        # Simon-Teng: average boundary O((n/k)^(1/2)) — generous constant
+        assert chi.avg_boundary(g) <= 6 * 16
+
+    def test_k1(self):
+        g = grid_graph(4, 4)
+        chi = recursive_bisection(g, 1, unit_weights(g), oracle=FAST)
+        assert np.all(chi.labels == 0)
+
+
+class TestKst:
+    def test_total_coloring(self):
+        g = triangulated_mesh(8, 8)
+        chi = kst_partition(g, 4, unit_weights(g), oracle=FAST)
+        assert chi.is_total()
+
+    def test_eps_tradeoff_direction(self):
+        """Larger ε gives KST more freedom: boundary should not get worse."""
+        g = grid_graph(14, 14)
+        w = zipf_weights(g, rng=0)
+        tight = kst_partition(g, 4, w, oracle=FAST, eps=0.0)
+        loose = kst_partition(g, 4, w, oracle=FAST, eps=0.3)
+        # the loose run relaxes balance; record both are total colorings
+        assert tight.is_total() and loose.is_total()
+        cw_loose = loose.class_weights(w)
+        # looser balance may deviate more than the strict window
+        assert cw_loose.max() <= 1.5 * w.sum() / 4 + 2 * w.max()
+
+
+class TestMultilevel:
+    def test_relative_balance_contract(self):
+        g = grid_graph(20, 20)
+        w = unit_weights(g)
+        k = 4
+        chi = multilevel_partition(g, k, w, imbalance=0.05, rng=0)
+        assert chi.is_total()
+        cw = chi.class_weights(w)
+        avg = w.sum() / k
+        assert np.all(cw <= 1.05 * avg + w.max() + 1e-9)
+
+    def test_cut_quality_beats_random(self):
+        from repro.baselines import random_balanced_partition
+
+        g = grid_graph(16, 16)
+        w = unit_weights(g)
+        ml = multilevel_partition(g, 4, w, rng=0)
+        rnd = random_balanced_partition(g, 4, w, rng=0)
+        assert ml.max_boundary(g) < 0.5 * rnd.max_boundary(g)
+
+    def test_coarsening_preserves_totals(self):
+        from repro.baselines import contract, heavy_edge_matching
+
+        g = grid_graph(10, 10)
+        w = unit_weights(g)
+        match = heavy_edge_matching(g, rng=0)
+        level = contract(g, w, match)
+        assert np.isclose(level.weights.sum(), w.sum())
+        assert level.graph.n < g.n
+        # contracted cost total ≤ original (matched-edge costs vanish)
+        assert level.graph.total_cost() <= g.total_cost()
+
+    def test_matching_is_symmetric(self):
+        from repro.baselines import heavy_edge_matching
+
+        g = triangulated_mesh(7, 7)
+        match = heavy_edge_matching(g, rng=3)
+        for v in range(g.n):
+            assert match[match[v]] == v

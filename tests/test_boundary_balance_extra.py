@@ -1,0 +1,103 @@
+"""Extra Proposition 7 tests: cases where the Ψ-rebalance actually fires.
+
+The default pipeline seeds with recursive bisection, whose boundary is
+usually already within Lemma 9's 3·avg threshold, so `Move` rarely runs.
+These tests construct colorings with concentrated boundary mass to exercise
+the Move machinery and the dynamic monochromatic measure Φ^(r+1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Coloring,
+    DecompositionParams,
+    boundary_balanced_coloring,
+    rebalance,
+)
+from repro.graphs import grid_graph, unit_weights
+from repro.separators import BestOfOracle, BfsOracle
+
+FAST = BestOfOracle([BfsOracle()])
+
+
+def snake_coloring(side: int, k: int) -> Coloring:
+    """Class 0 = a checkerboard sample (huge boundary), rest = strips."""
+    g = grid_graph(side, side)
+    labels = np.zeros(g.n, dtype=np.int64)
+    checker = (g.coords[:, 0] + g.coords[:, 1]) % 2 == 0
+    labels[checker] = 0
+    rest = np.flatnonzero(~checker)
+    for idx, v in enumerate(rest):
+        labels[v] = 1 + (idx * (k - 1)) // rest.size
+    return Coloring(labels, k)
+
+
+class TestTriggeredRebalance:
+    def test_move_fires_on_concentrated_boundary(self):
+        side, k = 16, 8
+        g = grid_graph(side, side)
+        chi = snake_coloring(side, k)
+        psi = g.bichromatic_vertex_cost(chi.labels)
+        per_before = chi.boundary_per_class(g)
+        assert per_before[0] > 3 * per_before.sum() / k  # genuinely heavy
+        out, stats = rebalance(g, chi, psi, [unit_weights(g)], FAST)
+        assert stats.splits > 0  # Move actually executed
+        psi_after = out.class_weights(psi)
+        avg = psi.sum() / k
+        # Lemma 9: primary (Ψ) weakly balanced afterwards
+        assert psi_after.max() <= 3 * avg + 2**6 * psi.max() + 1e-9
+
+    def test_dynamic_measure_path_executes(self):
+        """With mono_edge provided, Move balances Φ^(r+1) without breaking
+        anything; the coloring stays total and weight balance is preserved."""
+        side, k = 16, 8
+        g = grid_graph(side, side)
+        chi = snake_coloring(side, k)
+        psi = g.bichromatic_vertex_cost(chi.labels)
+        lu = chi.labels[g.edges[:, 0]]
+        lv = chi.labels[g.edges[:, 1]]
+        mono = (lu == lv) & (lu >= 0)
+        out, stats = rebalance(
+            g, chi, psi, [unit_weights(g)], FAST, mono_edge=mono
+        )
+        assert stats.splits > 0
+        assert out.is_total()
+
+    def test_rebalance_reduces_max_boundary_here(self):
+        """On the snake instance the Ψ-rebalance must reduce the max."""
+        side, k = 16, 8
+        g = grid_graph(side, side)
+        chi = snake_coloring(side, k)
+        psi = g.bichromatic_vertex_cost(chi.labels)
+        out, _ = rebalance(g, chi, psi, [], FAST)
+        # Ψ is frozen at the old coloring, but the *new* true boundary of the
+        # rebalanced classes should beat the snake's worst class
+        assert out.max_boundary(g) < chi.max_boundary(g)
+
+
+class TestProposition7WithoutSeeding:
+    def test_unseeded_pipeline_still_contracts(self):
+        """seed_with_bisection=False exercises the trivial-start Lemma 6."""
+        g = grid_graph(12, 12)
+        params = DecompositionParams(seed_with_bisection=False)
+        w = unit_weights(g)
+        chi, diag = boundary_balanced_coloring(g, 8, [w], FAST, params)
+        assert chi.is_total()
+        cw = chi.class_weights(w)
+        avg = w.sum() / 8
+        assert cw.max() <= 3 * avg + 2**6 * w.max() + 1e-9
+        assert diag["lemma6_stats"][0].splits + diag["lemma6_stats"][-1].splits > 0
+
+    def test_seeded_vs_unseeded_quality(self):
+        """Seeding is a quality heuristic: never dramatically worse."""
+        from repro.core import min_max_partition
+
+        g = grid_graph(14, 14)
+        seeded = min_max_partition(g, 4, oracle=FAST)
+        unseeded = min_max_partition(
+            g, 4, oracle=FAST, params=DecompositionParams(seed_with_bisection=False)
+        )
+        assert seeded.is_strictly_balanced()
+        assert unseeded.is_strictly_balanced()
+        assert seeded.max_boundary(g) <= unseeded.max_boundary(g) * 1.5 + 1e-9

@@ -1,0 +1,95 @@
+"""Tests for BFS / connectivity helpers."""
+
+import numpy as np
+
+from repro.graphs import (
+    bfs_levels,
+    bfs_order,
+    connected_components,
+    cycle_graph,
+    disjoint_union,
+    grid_graph,
+    is_connected,
+    path_graph,
+    pseudo_peripheral_vertex,
+)
+from repro.graphs.graph import Graph
+
+
+class TestBfsLevels:
+    def test_path_distances(self):
+        g = path_graph(6)
+        lev = bfs_levels(g, [0])
+        assert lev.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_multi_source(self):
+        g = path_graph(7)
+        lev = bfs_levels(g, [0, 6])
+        assert lev.tolist() == [0, 1, 2, 3, 2, 1, 0]
+
+    def test_unreachable(self):
+        g = disjoint_union([path_graph(3), path_graph(3)])
+        lev = bfs_levels(g, [0])
+        assert np.all(lev[3:] == -1)
+
+    def test_grid_distance_is_l1(self):
+        g = grid_graph(5, 5)
+        lev = bfs_levels(g, [0])
+        expected = g.coords.sum(axis=1)
+        assert np.array_equal(lev, expected)
+
+    def test_empty_sources(self):
+        g = path_graph(3)
+        assert np.all(bfs_levels(g, []) == -1)
+
+
+class TestBfsOrder:
+    def test_covers_all_vertices(self):
+        g = disjoint_union([path_graph(4), cycle_graph(5)])
+        order = bfs_order(g, 0)
+        assert sorted(order.tolist()) == list(range(9))
+
+    def test_starts_at_source(self):
+        g = grid_graph(4, 4)
+        assert bfs_order(g, 5)[0] == 5
+
+    def test_layers_are_contiguous(self):
+        g = grid_graph(4, 4)
+        order = bfs_order(g, 0)
+        lev = bfs_levels(g, [0])
+        assert np.all(np.diff(lev[order]) >= 0)
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = grid_graph(3, 4)
+        assert np.all(connected_components(g) == 0)
+        assert is_connected(g)
+
+    def test_two_components(self):
+        g = disjoint_union([path_graph(3), path_graph(4)])
+        comp = connected_components(g)
+        assert comp[:3].tolist() == [0, 0, 0]
+        assert comp[3:].tolist() == [1, 1, 1, 1]
+        assert not is_connected(g)
+
+    def test_isolated_vertices(self):
+        g = Graph(4, np.zeros((0, 2), dtype=np.int64))
+        assert np.unique(connected_components(g)).size == 4
+
+    def test_trivial_graphs_connected(self):
+        assert is_connected(Graph(0, np.zeros((0, 2), dtype=np.int64)))
+        assert is_connected(Graph(1, np.zeros((0, 2), dtype=np.int64)))
+
+
+class TestPseudoPeripheral:
+    def test_path_endpoint(self):
+        g = path_graph(9)
+        v = pseudo_peripheral_vertex(g, start=4)
+        assert v in (0, 8)
+
+    def test_grid_corner(self):
+        g = grid_graph(5, 5)
+        v = pseudo_peripheral_vertex(g, start=12)
+        # corners are the extremal-eccentricity vertices
+        assert tuple(g.coords[v]) in {(0, 0), (0, 4), (4, 0), (4, 4)}

@@ -1,0 +1,141 @@
+"""Tests for Lemma 37: separators ↔ splitting sets."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    disjoint_union,
+    grid_graph,
+    path_graph,
+    triangulated_mesh,
+    unit_weights,
+)
+from repro.separators import (
+    BfsOracle,
+    SeparatorBasedOracle,
+    bfs_level_separator,
+    check_split_window,
+    fiedler_separator,
+    is_balanced_separation,
+    nested_dissection_order,
+    separation_from_splitting,
+    vertex_costs,
+)
+
+
+class TestVertexCosts:
+    def test_tau_sum_is_twice_cost(self):
+        g = grid_graph(5, 5)
+        assert np.isclose(vertex_costs(g).sum(), 2 * g.total_cost())
+
+
+class TestBfsLevelSeparator:
+    def test_balanced_on_grid(self):
+        g = grid_graph(9, 9)
+        w = unit_weights(g)
+        s = bfs_level_separator(g, w)
+        assert s.size > 0
+        rest = np.setdiff1d(np.arange(g.n), s)
+        sub = g.subgraph(rest)
+        from repro.graphs import connected_components
+
+        comp = connected_components(sub.graph)
+        comp_w = np.bincount(comp, weights=w[rest])
+        assert np.all(comp_w <= 2 / 3 * w.sum() + 1e-9)
+
+    def test_small_components_need_no_separator(self):
+        g = disjoint_union([path_graph(3)] * 5)
+        s = bfs_level_separator(g, unit_weights(g))
+        assert s.size == 0
+
+    def test_path_separator_is_single_vertex(self):
+        g = path_graph(31)
+        s = bfs_level_separator(g, unit_weights(g))
+        assert s.size == 1
+
+    def test_weighted_median_respects_weights(self):
+        g = path_graph(10)
+        w = np.zeros(10)
+        w[8] = 1.0
+        w[9] = 1.0
+        s = bfs_level_separator(g, w)
+        # separator must fall where the weight is, not at the unweighted middle
+        assert s.size == 1 and s[0] >= 8
+
+
+class TestFiedlerSeparator:
+    def test_balanced_on_mesh(self):
+        g = triangulated_mesh(7, 7)
+        w = unit_weights(g)
+        s = fiedler_separator(g, w)
+        assert 0 < s.size <= 3 * 7  # a thin band
+        rest = np.setdiff1d(np.arange(g.n), s)
+        from repro.graphs import connected_components
+
+        comp = connected_components(g.subgraph(rest).graph)
+        comp_w = np.bincount(comp, weights=w[rest])
+        assert np.all(comp_w <= 2 / 3 * w.sum() + 1e-9)
+
+
+class TestSeparationFromSplitting:
+    def test_lemma37_part1(self):
+        """Splitting set + outside cut endpoints = balanced separation."""
+        g = grid_graph(8, 8)
+        w = unit_weights(g)
+        sep = separation_from_splitting(g, w, BfsOracle())
+        assert is_balanced_separation(g, sep, w)
+
+    def test_heavy_vertex_shortcut(self):
+        g = path_graph(9)
+        w = np.ones(9)
+        w[4] = 100.0
+        sep = separation_from_splitting(g, w, BfsOracle())
+        assert is_balanced_separation(g, sep, w)
+        assert 4 in sep.separator.tolist()
+
+    def test_separator_cost_reasonable_on_grid(self):
+        """On an a×a unit grid the separation should cost O(a) in τ."""
+        g = grid_graph(10, 10)
+        w = unit_weights(g)
+        sep = separation_from_splitting(g, w, BfsOracle())
+        tau = vertex_costs(g)
+        assert sep.cost(tau) <= 8 * 10  # ~4·a·Δ slack
+
+
+class TestNestedDissection:
+    def test_order_is_permutation(self):
+        g = triangulated_mesh(6, 6)
+        order = nested_dissection_order(g)
+        assert sorted(order.tolist()) == list(range(g.n))
+
+    def test_separator_based_oracle_window(self):
+        g = grid_graph(7, 7)
+        oracle = SeparatorBasedOracle(bfs_level_separator)
+        w = np.random.default_rng(0).exponential(1.0, g.n) + 0.1
+        for frac in [0.0, 0.25, 0.5, 0.75, 1.0]:
+            target = frac * w.sum()
+            u = oracle.split(g, w, target)
+            assert check_split_window(w, target, u)
+
+    def test_separator_oracle_cut_quality_on_grid(self):
+        """Nested dissection prefixes should cut O(side) on unit grids."""
+        g = grid_graph(12, 12)
+        oracle = SeparatorBasedOracle(bfs_level_separator)
+        u = oracle.split(g, unit_weights(g), g.n / 2.0)
+        assert g.boundary_cost(u) <= 5 * 12
+
+    def test_fiedler_separator_oracle(self):
+        g = triangulated_mesh(6, 6)
+        oracle = SeparatorBasedOracle(fiedler_separator)
+        w = unit_weights(g)
+        u = oracle.split(g, w, 13.0)
+        assert check_split_window(w, 13.0, u)
+
+    def test_disconnected_input(self):
+        g = disjoint_union([grid_graph(4, 4), grid_graph(4, 4)])
+        oracle = SeparatorBasedOracle(bfs_level_separator)
+        w = unit_weights(g)
+        u = oracle.split(g, w, 16.0)
+        assert check_split_window(w, 16.0, u)
+        # splitting along components should be free
+        assert g.boundary_cost(u) <= 4.0

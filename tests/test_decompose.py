@@ -1,0 +1,192 @@
+"""Integration tests for the Theorem 4 pipeline (min_max_partition).
+
+The unconditional contract: the result is a total, strictly balanced
+k-coloring (Definition 1).  The quality contract: the maximum boundary cost
+stays within a modest constant of Theorem 4's RHS on separator-friendly
+families.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DecompositionParams, boundary_balanced_coloring, min_max_partition, theorem4_bound
+from repro.graphs import (
+    bimodal_weights,
+    disjoint_union,
+    grid_graph,
+    lognormal_costs,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+    triangulated_mesh,
+    uniform_costs,
+    unit_weights,
+    zipf_weights,
+)
+from repro.separators import BestOfOracle, BfsOracle, SpectralOracle
+
+
+FAST = BestOfOracle([BfsOracle()])
+
+
+class TestStrictBalanceContract:
+    @pytest.mark.parametrize("k", [2, 3, 4, 8, 16])
+    def test_unit_grid(self, k):
+        g = grid_graph(10, 10)
+        res = min_max_partition(g, k, oracle=FAST)
+        assert res.is_strictly_balanced()
+        assert res.coloring.is_total()
+
+    @pytest.mark.parametrize("k", [2, 4, 7])
+    def test_zipf_weights(self, k):
+        g = triangulated_mesh(9, 9)
+        w = zipf_weights(g, rng=0)
+        res = min_max_partition(g, k, weights=w, oracle=FAST)
+        assert res.is_strictly_balanced()
+
+    def test_bimodal_weights(self):
+        g = grid_graph(12, 12)
+        w = bimodal_weights(g, 0.05, 40.0, rng=1)
+        res = min_max_partition(g, 6, weights=w, oracle=FAST)
+        assert res.is_strictly_balanced()
+
+    def test_dominant_vertex(self):
+        g = grid_graph(8, 8)
+        w = np.ones(g.n)
+        w[0] = 30.0  # about two class-averages on its own
+        res = min_max_partition(g, 4, weights=w, oracle=FAST)
+        assert res.is_strictly_balanced()
+
+    def test_path_and_star(self):
+        for g in [path_graph(40), star_graph(33)]:
+            res = min_max_partition(g, 4, oracle=FAST)
+            assert res.is_strictly_balanced()
+
+    def test_disconnected(self):
+        g = disjoint_union([grid_graph(5, 5), grid_graph(5, 5), path_graph(10)])
+        res = min_max_partition(g, 3, oracle=FAST)
+        assert res.is_strictly_balanced()
+
+    def test_expander(self):
+        g = random_regular_graph(60, 4, rng=0)
+        res = min_max_partition(g, 5, oracle=FAST)
+        assert res.is_strictly_balanced()
+
+    def test_k1(self):
+        g = grid_graph(4, 4)
+        res = min_max_partition(g, 1, oracle=FAST)
+        assert res.is_strictly_balanced()
+        assert res.max_boundary(g) == 0.0
+
+    def test_k_equals_n(self):
+        g = path_graph(6)
+        res = min_max_partition(g, 6, oracle=FAST)
+        assert res.is_strictly_balanced()
+
+    def test_weighted_costs(self):
+        g = grid_graph(10, 10)
+        g = g.with_costs(lognormal_costs(g, sigma=1.5, rng=2))
+        res = min_max_partition(g, 5, oracle=FAST)
+        assert res.is_strictly_balanced()
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=4, max_value=9),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_strict_balance_property(self, k, side, seed):
+        """Definition 1 holds for random instances — the paper's hard contract."""
+        rng = np.random.default_rng(seed)
+        g = grid_graph(side, side)
+        g = g.with_costs(rng.uniform(0.1, 3.0, g.m))
+        w = rng.exponential(1.0, g.n) + 0.01
+        res = min_max_partition(g, k, weights=w, oracle=FAST)
+        assert res.is_strictly_balanced()
+        assert res.coloring.is_total()
+
+
+class TestBoundaryQuality:
+    def test_grid_boundary_near_bound(self):
+        """Theorem 4 shape: max boundary ≤ C·(k^{-1/2}‖c‖₂ + Δ_c) on grids."""
+        for k in [2, 4, 8]:
+            g = grid_graph(20, 20)
+            res = min_max_partition(g, k, oracle=FAST)
+            bound = theorem4_bound(g, k, p=2.0)
+            assert res.max_boundary(g) <= 8.0 * bound, (k, res.max_boundary(g), bound)
+
+    def test_better_than_round_robin(self):
+        """The pipeline must beat the naive balanced partition by a lot."""
+        from repro.core import Coloring
+
+        g = grid_graph(16, 16)
+        k = 4
+        res = min_max_partition(g, k, oracle=FAST)
+        rr = Coloring.round_robin(g.n, k)
+        assert res.max_boundary(g) < 0.5 * rr.max_boundary(g)
+
+    def test_spectral_oracle_competitive(self):
+        g = triangulated_mesh(12, 12)
+        res = min_max_partition(g, 4, oracle=BestOfOracle([SpectralOracle(), BfsOracle()]))
+        assert res.is_strictly_balanced()
+        bound = theorem4_bound(g, 4, p=2.0)
+        assert res.max_boundary(g) <= 8.0 * bound
+
+    def test_stage_metrics_recorded(self):
+        g = grid_graph(10, 10)
+        res = min_max_partition(g, 4, oracle=FAST)
+        assert "prop7" in res.stage_max_boundary
+        assert "prop12" in res.stage_max_boundary
+
+
+class TestProposition7:
+    def test_weak_balance_and_boundary(self):
+        g = grid_graph(14, 14)
+        w = unit_weights(g)
+        k = 7
+        chi, diag = boundary_balanced_coloring(g, k, [w], FAST)
+        cw = chi.class_weights(w)
+        avg = w.sum() / k
+        assert cw.max() <= 4 * avg + 20 * w.max()
+        # boundary balanced: max within constant of avg + Δ_c
+        per = chi.boundary_per_class(g)
+        assert per.max() <= 4 * (per.sum() / k) + 6 * g.max_cost_degree()
+
+    def test_extra_measures_balanced(self):
+        g = grid_graph(12, 12)
+        rng = np.random.default_rng(0)
+        w = unit_weights(g)
+        extra = rng.uniform(0.5, 2.0, g.n)
+        res = min_max_partition(g, 4, weights=w, measures=[extra], oracle=FAST)
+        ce = res.coloring.class_weights(extra)
+        assert ce.max() <= 4 * (extra.sum() / 4) + 30 * extra.max()
+        assert res.is_strictly_balanced()
+
+
+class TestParams:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            DecompositionParams(p=1.0)
+        with pytest.raises(ValueError):
+            DecompositionParams(epsilon=0.5)
+        with pytest.raises(ValueError):
+            DecompositionParams(heavy_factor=1.0)
+
+    def test_invalid_k(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(ValueError):
+            min_max_partition(g, 0)
+
+    def test_conjugate(self):
+        assert DecompositionParams(p=2.0).q == 2.0
+        assert DecompositionParams(p=1.5).q == 3.0
+
+    def test_no_strictify_ablation(self):
+        g = grid_graph(10, 10)
+        params = DecompositionParams(strictify=False, improve_balance=False)
+        res = min_max_partition(g, 4, params=params, oracle=FAST)
+        # Prop 7 alone gives weak balance only
+        cw = res.class_weights()
+        assert cw.max() <= 4 * (cw.sum() / 4) + 20

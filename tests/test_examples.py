@@ -1,0 +1,46 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+The heavier examples (climate, oracle comparison) are exercised through
+their building blocks elsewhere; here the fast ones run verbatim so the
+documented entry points can never rot.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart_runs(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "strictly balanced (Definition 1): True" in out
+    assert "OK" in out
+
+
+def test_grid_splitting_runs(capsys):
+    out = _run("grid_splitting.py", capsys)
+    assert "GridSplit on a 32×32 grid" in out
+    assert "yes" in out  # monotone column
+
+
+def test_tightness_demo_runs(capsys):
+    out = _run("tightness_demo.py", capsys)
+    assert "tight instances" in out
+    # the sandwich column must be all-yes
+    assert "no" not in [cell.strip() for line in out.splitlines() for cell in line.split("|")[-1:]]
+
+
+def test_all_examples_importable():
+    """Every example compiles (syntax/import errors caught even for the
+    heavy ones we don't execute here)."""
+    for script in EXAMPLES.glob("*.py"):
+        source = script.read_text()
+        compile(source, str(script), "exec")

@@ -1,0 +1,228 @@
+"""Tests for graph family generators and cost/weight families."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    axis_costs,
+    bimodal_weights,
+    binary_tree,
+    caterpillar,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    fluctuation,
+    fluctuation_costs,
+    geometric_weights,
+    grid_graph,
+    grid_subset_graph,
+    hypercube_graph,
+    is_connected,
+    is_grid_graph,
+    local_fluctuation,
+    lognormal_costs,
+    one_heavy_weights,
+    path_graph,
+    random_geometric_graph,
+    random_regular_graph,
+    star_graph,
+    triangulated_mesh,
+    uniform_costs,
+    uniform_weights,
+    unit_costs,
+    unit_weights,
+    zipf_weights,
+)
+
+
+class TestGrids:
+    def test_grid_2d_counts(self):
+        g = grid_graph(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 4 + 3 * 5 + 0  # horizontal 4*(5-1)=16, vertical (4-1)*5=15
+        assert g.m == 31
+
+    def test_grid_3d_counts(self):
+        g = grid_graph(3, 3, 3)
+        assert g.n == 27
+        assert g.m == 3 * (2 * 3 * 3)  # 54
+
+    def test_grid_is_grid_graph(self):
+        for shape in [(7,), (4, 6), (3, 3, 3)]:
+            assert is_grid_graph(grid_graph(*shape))
+
+    def test_grid_connected(self):
+        assert is_connected(grid_graph(5, 5))
+        assert is_connected(grid_graph(2, 3, 4))
+
+    def test_grid_degree_bound(self):
+        assert grid_graph(5, 5).max_degree() == 4
+        assert grid_graph(4, 4, 4).max_degree() == 6
+
+    def test_grid_subset(self):
+        coords = np.array([[0, 0], [0, 1], [5, 5]])
+        g = grid_subset_graph(coords)
+        assert g.m == 1
+        assert is_grid_graph(g)
+
+    def test_grid_subset_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            grid_subset_graph(np.array([[0, 0], [0, 0]]))
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.n == 16
+        assert g.m == 32
+        assert np.all(g.degree() == 4)
+
+    def test_grid_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestClassicFamilies:
+    def test_path(self):
+        g = path_graph(10)
+        assert g.m == 9 and is_connected(g)
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.m == 6
+        assert np.all(g.degree() == 2)
+
+    def test_star(self):
+        g = star_graph(8)
+        assert g.max_degree() == 7
+
+    def test_caterpillar(self):
+        g = caterpillar(5, 3)
+        assert g.n == 20
+        assert is_connected(g)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.m == 15
+
+    def test_binary_tree(self):
+        g = binary_tree(3)
+        assert g.n == 15
+        assert g.m == 14
+        assert is_connected(g)
+
+    def test_mesh_is_planar_like(self):
+        g = triangulated_mesh(6, 6)
+        assert g.n == 36
+        assert g.max_degree() <= 8
+        assert is_connected(g)
+
+
+class TestRandomFamilies:
+    def test_random_regular(self):
+        g = random_regular_graph(30, 4, rng=0)
+        assert np.all(g.degree() == 4)
+        assert g.m == 60
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3, rng=0)
+
+    def test_random_regular_determinism(self):
+        g1 = random_regular_graph(20, 3, rng=42)
+        g2 = random_regular_graph(20, 3, rng=42)
+        assert np.array_equal(g1.edges, g2.edges)
+
+    def test_random_geometric(self):
+        g = random_geometric_graph(200, 0.12, rng=1)
+        assert g.n == 200
+        assert g.m > 0
+        # no duplicate edges by construction
+        keys = g.edges[:, 0] * g.n + g.edges[:, 1]
+        assert np.unique(keys).size == g.m
+
+
+class TestCosts:
+    def test_unit_costs(self):
+        g = grid_graph(4, 4)
+        assert np.all(unit_costs(g) == 1.0)
+
+    def test_uniform_costs_range(self):
+        g = grid_graph(6, 6)
+        c = uniform_costs(g, 0.5, 2.0, rng=0)
+        assert np.all((c >= 0.5) & (c <= 2.0))
+
+    def test_lognormal_positive(self):
+        g = grid_graph(6, 6)
+        assert np.all(lognormal_costs(g, rng=0) > 0)
+
+    def test_fluctuation_costs_exact_phi(self):
+        g = grid_graph(8, 8)
+        for phi in [1.0, 10.0, 1e3]:
+            c = fluctuation_costs(g, phi, rng=3)
+            assert np.isclose(fluctuation(c), phi)
+
+    def test_fluctuation_rejects_small_phi(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(ValueError):
+            fluctuation_costs(g, 0.5)
+
+    def test_axis_costs(self):
+        g = grid_graph(3, 3)
+        c = axis_costs(g, [10.0, 1.0])
+        # vertical edges (axis 0) get 10, horizontal (axis 1) get 1
+        assert set(np.unique(c)) == {1.0, 10.0}
+
+    def test_local_fluctuation_unit_equals_degree(self):
+        g = grid_graph(5, 5)
+        assert local_fluctuation(g, unit_costs(g)) == g.max_degree()
+
+
+class TestWeights:
+    def test_unit(self):
+        g = path_graph(5)
+        assert np.all(unit_weights(g) == 1.0)
+
+    def test_zipf_mean_one(self):
+        g = grid_graph(10, 10)
+        w = zipf_weights(g, rng=0)
+        assert np.isclose(w.mean(), 1.0)
+        assert w.max() / w.min() > 10
+
+    def test_bimodal(self):
+        g = grid_graph(10, 10)
+        w = bimodal_weights(g, 0.1, 20.0, rng=0)
+        assert set(np.unique(w)) == {1.0, 20.0}
+
+    def test_one_heavy(self):
+        g = path_graph(16)
+        w = one_heavy_weights(g)
+        assert w[0] > 1.0 and np.all(w[1:] == 1.0)
+
+    def test_geometric_positive(self):
+        g = path_graph(10)
+        w = geometric_weights(g, 1.1)
+        assert np.all(w > 0)
+
+    def test_uniform_weights_range(self):
+        g = path_graph(50)
+        w = uniform_weights(g, 1.0, 2.0, rng=0)
+        assert np.all((w >= 1.0) & (w <= 2.0))
+
+
+class TestDisjointUnion:
+    def test_counts(self):
+        g = disjoint_union([path_graph(3), path_graph(4)])
+        assert g.n == 7
+        assert g.m == 2 + 3
+
+    def test_no_cross_edges(self):
+        g = disjoint_union([path_graph(3), path_graph(4)])
+        # all edges stay within their block
+        assert not np.any((g.edges[:, 0] < 3) & (g.edges[:, 1] >= 3))
+
+    def test_union_of_grids_is_grid(self):
+        g = disjoint_union([grid_graph(3, 3), grid_graph(2, 2)])
+        assert is_grid_graph(g)
+
+    def test_empty_union(self):
+        g = disjoint_union([])
+        assert g.n == 0

@@ -1,0 +1,196 @@
+"""Unit tests for the CSR graph core."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, from_edges, grid_graph, path_graph
+
+
+def square():
+    # 0-1
+    # |  \
+    # 2-3 (edges: 0-1, 0-2, 2-3, 1-3, 0-3)
+    return from_edges(4, [(0, 1), (0, 2), (2, 3), (1, 3), (0, 3)], costs=[1.0, 2.0, 3.0, 4.0, 5.0])
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = square()
+        assert g.n == 4
+        assert g.m == 5
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            from_edges(3, [(0, 0)])
+
+    def test_rejects_parallel_edges(self):
+        with pytest.raises(ValueError):
+            from_edges(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            from_edges(2, [(0, 5)])
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            from_edges(2, [(0, 1)], costs=[-1.0])
+
+    def test_empty_graph(self):
+        g = Graph(0, np.zeros((0, 2), dtype=np.int64))
+        assert g.n == 0 and g.m == 0
+        assert g.max_degree() == 0
+        assert g.max_cost_degree() == 0.0
+
+    def test_edgeless_graph(self):
+        g = Graph(5, np.zeros((0, 2), dtype=np.int64))
+        assert g.boundary_cost(np.array([0, 1])) == 0.0
+        assert np.all(g.degree() == 0)
+
+    def test_canonical_edge_orientation(self):
+        g = from_edges(3, [(2, 0), (1, 2)])
+        assert np.all(g.edges[:, 0] < g.edges[:, 1])
+
+    def test_scalar_cost_broadcast(self):
+        g = Graph(3, [(0, 1), (1, 2)], costs=2.5)
+        assert np.allclose(g.costs, 2.5)
+
+
+class TestAdjacency:
+    def test_neighbors(self):
+        g = square()
+        assert sorted(g.neighbors(0).tolist()) == [1, 2, 3]
+        assert sorted(g.neighbors(3).tolist()) == [0, 1, 2]
+
+    def test_incident_edge_ids_match_costs(self):
+        g = square()
+        for v in range(g.n):
+            for eid in g.incident_edges(v):
+                assert v in g.edges[eid]
+
+    def test_degree(self):
+        g = square()
+        assert g.degree().tolist() == [3, 2, 2, 3]
+        assert g.max_degree() == 3
+
+    def test_cost_degree(self):
+        g = square()
+        tau = g.cost_degree()
+        # vertex 0 touches costs 1+2+5, vertex 1: 1+4, vertex 2: 2+3, vertex 3: 3+4+5
+        assert np.allclose(tau, [8.0, 5.0, 5.0, 12.0])
+        assert g.max_cost_degree() == 12.0
+
+
+class TestCuts:
+    def test_boundary_cost_single_vertex(self):
+        g = square()
+        assert g.boundary_cost([0]) == 8.0
+
+    def test_boundary_cost_mask_and_indices_agree(self):
+        g = square()
+        mask = np.array([True, False, True, False])
+        assert g.boundary_cost(mask) == g.boundary_cost([0, 2])
+
+    def test_boundary_complement_symmetry(self):
+        g = square()
+        u = np.array([0, 1])
+        comp = np.array([2, 3])
+        assert g.boundary_cost(u) == g.boundary_cost(comp)
+
+    def test_boundary_full_and_empty_sets(self):
+        g = square()
+        assert g.boundary_cost([]) == 0.0
+        assert g.boundary_cost([0, 1, 2, 3]) == 0.0
+
+    def test_cut_edges(self):
+        g = square()
+        cut = g.cut_edges([0])
+        assert sorted(g.costs[cut].tolist()) == [1.0, 2.0, 5.0]
+
+    def test_boundary_per_class(self):
+        g = square()
+        labels = np.array([0, 0, 1, 1])
+        per = g.boundary_per_class(labels, 2)
+        # bichromatic edges: 0-2 (2.0), 1-3 (4.0), 0-3 (5.0) -> 11 on both sides
+        assert np.allclose(per, [11.0, 11.0])
+
+    def test_boundary_per_class_with_uncolored(self):
+        g = square()
+        labels = np.array([0, 0, -1, -1])
+        per = g.boundary_per_class(labels, 2)
+        assert per[0] == 11.0
+        assert per[1] == 0.0
+
+    def test_cut_cost_between(self):
+        g = square()
+        assert g.cut_cost_between([0], [3]) == 5.0
+        assert g.cut_cost_between([0, 1], [2, 3]) == 11.0
+
+    def test_bichromatic_vertex_cost(self):
+        g = square()
+        labels = np.array([0, 0, 1, 1])
+        psi = g.bichromatic_vertex_cost(labels)
+        # v0 touches bichromatic 0-2 (2) and 0-3 (5)
+        assert psi[0] == 7.0
+        assert psi[1] == 4.0
+        assert np.isclose(psi.sum(), 2 * 11.0)
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self):
+        g = square()
+        sub = g.subgraph([0, 1, 3])
+        assert sub.graph.n == 3
+        # edges inside {0,1,3}: 0-1 (1.0), 1-3 (4.0), 0-3 (5.0)
+        assert sub.graph.m == 3
+        assert np.isclose(sub.graph.total_cost(), 10.0)
+
+    def test_to_parent_roundtrip(self):
+        g = square()
+        sub = g.subgraph([1, 2, 3])
+        local = np.array([0, 2])
+        lifted = sub.to_parent(local)
+        assert set(lifted.tolist()) <= {1, 2, 3}
+
+    def test_subgraph_of_mask(self):
+        g = square()
+        mask = np.array([True, True, False, False])
+        sub = g.subgraph(mask)
+        assert sub.graph.n == 2
+        assert sub.graph.m == 1
+
+    def test_subgraph_preserves_coords(self):
+        g = grid_graph(3, 3)
+        sub = g.subgraph([0, 1, 2])
+        assert sub.graph.coords is not None
+        assert sub.graph.coords.shape == (3, 2)
+
+    def test_empty_subgraph(self):
+        g = square()
+        sub = g.subgraph([])
+        assert sub.graph.n == 0
+        assert sub.graph.m == 0
+
+
+class TestNorms:
+    def test_cost_norm_p2(self):
+        g = square()
+        expected = float(np.sqrt(1 + 4 + 9 + 16 + 25))
+        assert np.isclose(g.cost_norm(2.0), expected)
+
+    def test_cost_norm_inf(self):
+        g = square()
+        assert g.cost_norm(np.inf) == 5.0
+
+    def test_with_costs(self):
+        g = square()
+        g2 = g.with_costs(np.ones(g.m))
+        assert g2.total_cost() == 5.0
+        assert g.total_cost() == 15.0
+
+
+class TestPathGraph:
+    def test_path_structure(self):
+        g = path_graph(5)
+        assert g.n == 5 and g.m == 4
+        assert g.max_degree() == 2
+        assert g.boundary_cost([0, 1, 2]) == 1.0

@@ -1,0 +1,157 @@
+"""Tests for §6 GridSplit (Theorem 19)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    fluctuation_costs,
+    grid_graph,
+    path_graph,
+    unit_weights,
+)
+from repro.separators import (
+    GridOracle,
+    GridSplitTrace,
+    check_split_window,
+    grid_split,
+    is_monotone,
+    theorem19_bound,
+)
+
+
+class TestWindow:
+    def test_unit_grid_various_targets(self):
+        g = grid_graph(8, 8)
+        w = unit_weights(g)
+        for target in [0.0, 1.0, 13.7, 32.0, 63.5, 64.0]:
+            u = grid_split(g, w, target)
+            assert check_split_window(w, target, u)
+
+    def test_weighted_grid(self):
+        g = grid_graph(7, 9)
+        w = np.random.default_rng(0).exponential(1.0, g.n) + 0.01
+        for frac in [0.1, 0.33, 0.5, 0.77]:
+            target = frac * w.sum()
+            u = grid_split(g, w, target)
+            assert check_split_window(w, target, u)
+
+    @given(st.integers(min_value=1, max_value=3), st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_window_property(self, d, frac, seed):
+        rng = np.random.default_rng(seed)
+        shape = tuple(int(rng.integers(2, 6)) for _ in range(d))
+        g = grid_graph(*shape)
+        g = g.with_costs(rng.uniform(0.5, 20.0, g.m)) if g.m else g
+        w = rng.exponential(1.0, g.n) + 0.01
+        target = frac * w.sum()
+        u = grid_split(g, w, target)
+        assert check_split_window(w, target, u)
+
+
+class TestMonotone:
+    def test_result_is_monotone_2d(self):
+        """Lemma 24: GridSplit returns monotone sets."""
+        rng = np.random.default_rng(1)
+        g = grid_graph(6, 6).with_costs(None)
+        g = grid_graph(6, 6)
+        g = g.with_costs(rng.uniform(1.0, 50.0, g.m))
+        w = rng.exponential(1.0, g.n) + 0.01
+        for frac in [0.2, 0.5, 0.8]:
+            u = grid_split(g, w, frac * w.sum())
+            assert is_monotone(g.coords, u)
+
+    def test_result_is_monotone_3d(self):
+        rng = np.random.default_rng(2)
+        g = grid_graph(4, 4, 4)
+        g = g.with_costs(rng.uniform(1.0, 100.0, g.m))
+        w = unit_weights(g)
+        u = grid_split(g, w, g.n / 2.0)
+        assert is_monotone(g.coords, u)
+
+    def test_is_monotone_helper(self):
+        coords = np.array([[0, 0], [0, 1], [1, 0], [1, 1]])
+        assert is_monotone(coords, [0])
+        assert is_monotone(coords, [0, 1])
+        assert not is_monotone(coords, [3])
+        assert is_monotone(coords, [])
+        assert is_monotone(coords, [0, 1, 2, 3])
+
+
+class TestCostBound:
+    def test_unit_costs_sqrt_bound(self):
+        """Unit-cost a×a grid: splitting cost should be O(a) = O(‖c‖₂ shape)."""
+        for a in [8, 12, 16, 24]:
+            g = grid_graph(a, a)
+            w = unit_weights(g)
+            u = grid_split(g, w, g.n / 2.0)
+            # generous constant: boundary ≤ 6a for the half split
+            assert g.boundary_cost(u) <= 6 * a
+
+    def test_theorem19_ratio_bounded(self):
+        """measured / theorem-RHS stays below a fixed constant across φ."""
+        rng = np.random.default_rng(3)
+        for phi in [1.0, 10.0, 1e3, 1e5]:
+            g = grid_graph(12, 12)
+            g = g.with_costs(fluctuation_costs(g, phi, rng=rng))
+            w = unit_weights(g)
+            u = grid_split(g, w, g.n / 2.0)
+            bound = theorem19_bound(g)
+            assert g.boundary_cost(u) <= 3.0 * bound
+
+    def test_1d_grid(self):
+        g = path_graph(50)
+        w = unit_weights(g)
+        u = grid_split(g, w, 25.0)
+        assert check_split_window(w, 25.0, u)
+        # a path's splitting set should be an interval: cut ≤ max single cost
+        assert g.boundary_cost(u) <= g.costs.max() + 1e-12
+
+
+class TestRecursion:
+    def test_trace_depth_logarithmic_in_phi(self):
+        """Recursion terminates after O(log ‖c‖∞) levels."""
+        rng = np.random.default_rng(4)
+        g = grid_graph(10, 10)
+        g = g.with_costs(fluctuation_costs(g, 1e6, rng=rng))
+        trace = GridSplitTrace()
+        grid_split(g, unit_weights(g), g.n / 2.0, trace=trace)
+        assert trace.levels <= np.log2(1e6) + 5
+
+    def test_unit_costs_single_coarsening(self):
+        g = grid_graph(16, 16)
+        trace = GridSplitTrace()
+        grid_split(g, unit_weights(g), g.n / 2.0, trace=trace)
+        assert trace.levels <= 3
+
+
+class TestOracleAndEdgeCases:
+    def test_grid_oracle(self):
+        g = grid_graph(5, 5)
+        w = unit_weights(g)
+        u = GridOracle().split(g, w, 10.0)
+        assert check_split_window(w, 10.0, u)
+
+    def test_requires_coords(self):
+        from repro.graphs import random_regular_graph
+
+        g = random_regular_graph(10, 3, rng=0)
+        with pytest.raises(ValueError):
+            grid_split(g, np.ones(10), 5.0)
+
+    def test_single_vertex(self):
+        g = grid_graph(1)
+        u = grid_split(g, np.array([2.0]), 0.0)
+        assert check_split_window(np.array([2.0]), 0.0, u)
+
+    def test_target_full_weight(self):
+        g = grid_graph(4, 4)
+        w = unit_weights(g)
+        u = grid_split(g, w, float(g.n))
+        assert u.size == g.n
+
+    def test_rejects_bad_weights_length(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(ValueError):
+            grid_split(g, np.ones(5), 1.0)

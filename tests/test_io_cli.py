@@ -1,0 +1,133 @@
+"""Tests for graph serialization and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs import (
+    grid_graph,
+    load_npz,
+    read_edgelist,
+    save_npz,
+    uniform_costs,
+    write_edgelist,
+)
+
+
+class TestNpz:
+    def test_roundtrip(self, tmp_path):
+        g = grid_graph(5, 4)
+        g = g.with_costs(uniform_costs(g, 0.5, 2.0, rng=0))
+        w = np.arange(1.0, g.n + 1)
+        path = tmp_path / "g.npz"
+        save_npz(path, g, weights=w)
+        g2, w2 = load_npz(path)
+        assert g2.n == g.n and g2.m == g.m
+        assert np.allclose(g2.costs, g.costs)
+        assert np.array_equal(g2.edges, g.edges)
+        assert np.array_equal(g2.coords, g.coords)
+        assert np.allclose(w2, w)
+
+    def test_roundtrip_without_weights(self, tmp_path):
+        g = grid_graph(3, 3)
+        path = tmp_path / "g.npz"
+        save_npz(path, g)
+        g2, w2 = load_npz(path)
+        assert w2 is None
+        assert g2.n == 9
+
+
+class TestEdgelist:
+    def test_roundtrip(self, tmp_path):
+        g = grid_graph(4, 4)
+        path = tmp_path / "g.txt"
+        write_edgelist(path, g)
+        g2 = read_edgelist(path)
+        assert g2.n == g.n and g2.m == g.m
+        assert np.isclose(g2.total_cost(), g.total_cost())
+
+    def test_comments_and_costs(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("# header\n0 1 2.5\n1 2\n")
+        g = read_edgelist(path)
+        assert g.n == 3 and g.m == 2
+        assert sorted(g.costs.tolist()) == [1.0, 2.5]
+
+    def test_bad_line_rejected(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            read_edgelist(path)
+
+    def test_explicit_n(self, tmp_path):
+        path = tmp_path / "e.txt"
+        path.write_text("0 1\n")
+        g = read_edgelist(path, n=5)
+        assert g.n == 5
+
+
+class TestCli:
+    def test_partition_roundtrip(self, tmp_path, capsys):
+        g = grid_graph(6, 6)
+        gpath = tmp_path / "g.txt"
+        write_edgelist(gpath, g)
+        out = tmp_path / "labels.txt"
+        rc = main(["partition", str(gpath), "-k", "3", "-o", str(out)])
+        assert rc == 0
+        labels = np.loadtxt(out, dtype=np.int64)
+        assert labels.size == g.n
+        assert set(labels.tolist()) <= {0, 1, 2}
+        # class sizes strictly balanced for unit weights
+        sizes = np.bincount(labels, minlength=3)
+        assert np.all(np.abs(sizes - 12) <= (1 - 1 / 3) + 1e-9)
+
+    def test_partition_with_weights_npz(self, tmp_path):
+        g = grid_graph(5, 5)
+        w = np.random.default_rng(0).exponential(1.0, g.n) + 0.1
+        gpath = tmp_path / "g.npz"
+        save_npz(gpath, g, weights=w)
+        out = tmp_path / "labels.txt"
+        rc = main(["partition", str(gpath), "-k", "4", "-o", str(out)])
+        assert rc == 0
+
+    def test_evaluate(self, tmp_path, capsys):
+        g = grid_graph(4, 4)
+        gpath = tmp_path / "g.txt"
+        write_edgelist(gpath, g)
+        labels = tmp_path / "l.txt"
+        labels.write_text("\n".join(str(i % 2) for i in range(16)))
+        rc = main(["evaluate", str(gpath), str(labels)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "max boundary" in captured.out
+
+    def test_demo(self, capsys):
+        rc = main(["demo", "--side", "8", "-k", "4"])
+        assert rc == 0
+        assert "strictly balanced" in capsys.readouterr().out
+
+    def test_weights_size_mismatch(self, tmp_path):
+        g = grid_graph(3, 3)
+        gpath = tmp_path / "g.txt"
+        write_edgelist(gpath, g)
+        wpath = tmp_path / "w.txt"
+        wpath.write_text("1\n2\n")
+        with pytest.raises(SystemExit):
+            main(["partition", str(gpath), "-k", "2", "--weights", str(wpath)])
+
+
+class TestAdversarial:
+    def test_estimate_decomposition_cost(self):
+        from repro.analysis import estimate_decomposition_cost
+        from repro.separators import BestOfOracle, BfsOracle
+
+        g = grid_graph(8, 8)
+        est = estimate_decomposition_cost(
+            g, 4, oracle=BestOfOracle([BfsOracle()]), perturbation_rounds=1, rng=0
+        )
+        assert est.worst_max_boundary > 0
+        assert est.worst_family
+        assert len(est.history) >= 5
+        # the sup over weights is at least the unit-weight value
+        unit_score = [s for name, s in est.history if name == "unit"][0]
+        assert est.worst_max_boundary >= unit_score

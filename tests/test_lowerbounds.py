@@ -1,0 +1,144 @@
+"""Tests for the tightness machinery (Lemma 40, exact solvers, certificates)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Coloring, min_max_partition
+from repro.graphs import cycle_graph, grid_graph, path_graph, unit_weights
+from repro.lowerbounds import (
+    average_boundary_certificate,
+    base_cut_floor,
+    exact_min_max_boundary,
+    grid_balanced_cut_floor,
+    min_balanced_edge_cut,
+    min_balanced_separator_cost,
+    tight_instance,
+)
+from repro.separators import BestOfOracle, BfsOracle
+
+FAST = BestOfOracle([BfsOracle()])
+
+
+class TestExactEdgeCut:
+    def test_path_cut_is_one(self):
+        g = path_graph(9)
+        assert min_balanced_edge_cut(g, unit_weights(g)) == 1.0
+
+    def test_cycle_cut_is_two(self):
+        g = cycle_graph(9)
+        assert min_balanced_edge_cut(g, unit_weights(g)) == 2.0
+
+    def test_grid_cut_matches_bollobas_leader(self):
+        """Exhaustive check of the analytic floor for small square grids."""
+        for a in [3, 4]:
+            g = grid_graph(a, a)
+            exact = min_balanced_edge_cut(g, unit_weights(g))
+            assert exact >= grid_balanced_cut_floor(a) - 1e-9
+            assert exact <= 2 * a  # sanity upper bound
+
+    def test_weighted_cut(self):
+        g = path_graph(4)
+        g = g.with_costs(np.array([5.0, 1.0, 5.0]))
+        # balanced window [4/3, 8/3] in weight: only the middle edge works
+        assert min_balanced_edge_cut(g, unit_weights(g)) == 1.0
+
+    def test_rejects_large_n(self):
+        g = grid_graph(5, 5)
+        with pytest.raises(ValueError):
+            min_balanced_edge_cut(g, unit_weights(g))
+
+
+class TestExactSeparator:
+    def test_path_single_vertex(self):
+        g = path_graph(7)
+        cost = min_balanced_separator_cost(g, unit_weights(g))
+        # middle vertex: τ = 2 (two unit edges)
+        assert cost == 2.0
+
+    def test_cycle_needs_two(self):
+        g = cycle_graph(8)
+        cost = min_balanced_separator_cost(g, unit_weights(g))
+        assert cost == 4.0  # two vertices of τ=2
+
+    def test_heavy_endpoint_must_be_separator(self):
+        # all weight on vertex 0: the only balanced separations put vertex 0
+        # itself into the separator (any side containing it weighs 100%)
+        g = path_graph(5)
+        w = np.zeros(5)
+        w[0] = 1.0
+        assert min_balanced_separator_cost(g, w) == 1.0  # τ(v0) = 1
+
+
+class TestExactMinMax:
+    def test_path_k2(self):
+        g = path_graph(8)
+        cost, labels = exact_min_max_boundary(g, unit_weights(g), 2)
+        assert cost == 1.0
+        assert labels is not None
+
+    def test_cycle_k2(self):
+        g = cycle_graph(8)
+        cost, _ = exact_min_max_boundary(g, unit_weights(g), 2)
+        assert cost == 2.0
+
+    def test_grid_3x3_k3(self):
+        g = grid_graph(3, 3)
+        cost, labels = exact_min_max_boundary(g, unit_weights(g), 3)
+        # optimum is 5 (verified by independent full enumeration over all
+        # 3^9 colorings); three column strips would give 6 (middle strip)
+        assert cost == 5.0
+        chi = Coloring(labels, 3)
+        assert chi.is_strictly_balanced(unit_weights(g))
+
+    def test_our_algorithm_vs_exact(self):
+        """Pipeline output within a small factor of the true optimum."""
+        g = grid_graph(3, 4)
+        w = unit_weights(g)
+        opt, _ = exact_min_max_boundary(g, w, 2)
+        res = min_max_partition(g, 2, weights=w, oracle=FAST)
+        assert res.is_strictly_balanced()
+        assert res.max_boundary(g) <= 3.0 * opt + 1e-9
+
+
+class TestTightInstance:
+    def test_construction(self):
+        base = grid_graph(4, 4)
+        inst = tight_instance(base, k=8)
+        assert inst.copies == 2
+        assert inst.graph.n == 32
+        assert inst.weights.size == 32
+
+    def test_rejects_small_k(self):
+        with pytest.raises(ValueError):
+            tight_instance(grid_graph(3, 3), k=3)
+
+    def test_rejects_heavy_vertex(self):
+        base = path_graph(4)
+        w = np.array([10.0, 1.0, 1.0, 1.0])
+        with pytest.raises(ValueError):
+            tight_instance(base, k=4, base_weights=w)
+
+    def test_certificate_on_our_coloring(self):
+        """Lemma 40 forward: per-copy cuts ≥ the certified floor."""
+        base = grid_graph(4, 4)
+        k = 8
+        inst = tight_instance(base, k)
+        res = min_max_partition(inst.graph, k, weights=inst.weights, oracle=FAST)
+        cert = average_boundary_certificate(inst, res.coloring)
+        assert cert.roughly_balanced
+        assert cert.holds
+        assert cert.certified_avg_boundary > 0
+        # measured average boundary respects the certified floor
+        assert res.avg_boundary(inst.graph) >= cert.certified_avg_boundary - 1e-9
+
+    def test_certificate_floor_uses_exact_cut(self):
+        base = grid_graph(4, 4)
+        floor = base_cut_floor(base, unit_weights(base))
+        exact = min_balanced_edge_cut(base, unit_weights(base))
+        assert floor == exact
+
+    def test_rough_balance_check(self):
+        base = grid_graph(3, 3)
+        inst = tight_instance(base, k=4)
+        bad = Coloring.trivial(inst.graph.n, 4)  # everything one class
+        assert not inst.is_roughly_balanced(bad)

@@ -1,0 +1,84 @@
+"""Tests for vertex measures (Definition 10, Proposition 7's Ψ and Φ^(r+1))."""
+
+import numpy as np
+
+from repro.core import (
+    class_measure,
+    dynamic_mono_measure,
+    measure_norms,
+    splitting_cost,
+    splitting_cost_measure,
+)
+from repro.graphs import from_edges, grid_graph, unit_costs
+
+
+class TestSplittingCostMeasure:
+    def test_definition10_by_hand(self):
+        g = from_edges(3, [(0, 1), (1, 2)], costs=[2.0, 3.0])
+        pi = splitting_cost_measure(g, p=2.0, sigma_p=1.0)
+        # π(v) = Σ_{e∋v} c_e² / 2
+        assert np.allclose(pi, [4.0 / 2, (4.0 + 9.0) / 2, 9.0 / 2])
+
+    def test_total_equals_cost_norm(self):
+        """π(V) = σ_p^p ‖c‖_p^p (each edge counted once across endpoints)."""
+        g = grid_graph(5, 5)
+        for p in [1.5, 2.0, 3.0]:
+            pi = splitting_cost_measure(g, p)
+            assert np.isclose(pi.sum(), g.cost_norm(p) ** p)
+
+    def test_subset_dominates_internal_cost(self):
+        """π(W) ≥ ‖c|W‖_p^p for any W (Definition 10's purpose)."""
+        g = grid_graph(6, 6)
+        rng = np.random.default_rng(0)
+        g = g.with_costs(rng.uniform(0.2, 3.0, g.m))
+        pi = splitting_cost_measure(g, 2.0)
+        for _ in range(10):
+            members = rng.choice(g.n, size=12, replace=False)
+            sub = g.subgraph(members)
+            assert pi[members].sum() >= sub.graph.cost_norm(2.0) ** 2 - 1e-9
+
+    def test_sigma_scaling(self):
+        g = grid_graph(4, 4)
+        pi1 = splitting_cost_measure(g, 2.0, sigma_p=1.0)
+        pi2 = splitting_cost_measure(g, 2.0, sigma_p=2.0)
+        assert np.allclose(pi2, 4.0 * pi1)
+
+    def test_splitting_cost_helper(self):
+        g = grid_graph(4, 4)
+        pi = splitting_cost_measure(g, 2.0)
+        members = np.arange(8)
+        assert np.isclose(splitting_cost(pi, members, 2.0), pi[members].sum() ** 0.5)
+
+
+class TestClassMeasure:
+    def test_bincount_semantics(self):
+        labels = np.array([0, 1, 1, 2, -1])
+        measure = np.array([1.0, 2.0, 3.0, 4.0, 100.0])
+        out = class_measure(measure, labels, 3)
+        assert out.tolist() == [1.0, 5.0, 4.0]
+
+    def test_norms(self):
+        avg, mx = measure_norms(np.array([1.0, 3.0, 2.0]), k=3)
+        assert avg == 2.0 and mx == 3.0
+
+    def test_empty(self):
+        avg, mx = measure_norms(np.zeros(0), k=4)
+        assert avg == 0.0 and mx == 0.0
+
+
+class TestDynamicMonoMeasure:
+    def test_counts_only_mono_crossing_edges(self):
+        # path 0-1-2-3, original coloring: {0,1} vs {2,3}
+        g = from_edges(4, [(0, 1), (1, 2), (2, 3)], costs=[1.0, 10.0, 2.0])
+        labels = np.array([0, 0, 1, 1])
+        mono = (labels[g.edges[:, 0]] == labels[g.edges[:, 1]])
+        # vin = {1, 2}: crossing edges of vin are 0-1 (mono) and 2-3 (mono)
+        phi = dynamic_mono_measure(g, np.array([1, 2]), mono)
+        assert phi[1] == 1.0  # edge 0-1 charged to inside endpoint 1
+        assert phi[2] == 2.0  # edge 2-3 charged to inside endpoint 2
+        assert phi[0] == 0.0 and phi[3] == 0.0
+
+    def test_empty_vin(self):
+        g = grid_graph(3, 3)
+        mono = np.ones(g.m, dtype=bool)
+        assert np.all(dynamic_mono_measure(g, np.zeros(0, dtype=np.int64), mono) == 0)

@@ -1,0 +1,178 @@
+"""Tests for Lemmas 6, 8, 9 — the multi-balanced coloring machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Coloring,
+    DecompositionParams,
+    multi_balanced_bicolor,
+    multi_balanced_coloring,
+    rebalance,
+)
+from repro.graphs import grid_graph, triangulated_mesh, unit_weights
+from repro.separators import BestOfOracle, BfsOracle
+
+
+@pytest.fixture
+def oracle():
+    return BestOfOracle([BfsOracle()])
+
+
+class TestLemma8Bicolor:
+    def test_partition_property(self, oracle):
+        g = grid_graph(6, 6)
+        members = np.arange(g.n, dtype=np.int64)
+        m1 = np.ones(g.n)
+        p1, p2 = multi_balanced_bicolor(g, members, [m1], oracle)
+        assert sorted(np.concatenate([p1, p2]).tolist()) == members.tolist()
+
+    def test_single_measure_is_split(self, oracle):
+        g = grid_graph(6, 6)
+        members = np.arange(g.n, dtype=np.int64)
+        m1 = np.ones(g.n)
+        p1, p2 = multi_balanced_bicolor(g, members, [m1], oracle)
+        # the split is a plain bisection: halves within ‖Φ‖∞/2 of half
+        assert abs(m1[p1].sum() - g.n / 2.0) <= 0.5
+
+    def test_two_measures_both_balanced(self, oracle):
+        """Lemma 8 bound: Φ(j) of each class ≤ 3/4(Φ(j)(W) + 2^{r-j}‖Φ(j)‖∞)."""
+        g = grid_graph(8, 8)
+        rng = np.random.default_rng(0)
+        members = np.arange(g.n, dtype=np.int64)
+        m1 = rng.uniform(0.5, 2.0, g.n)
+        m2 = rng.uniform(0.5, 2.0, g.n)
+        p1, p2 = multi_balanced_bicolor(g, members, [m1, m2], oracle)
+        for j, m in enumerate([m1, m2], start=1):
+            bound = 0.75 * (m.sum() + 2 ** (2 - j) * m.max())
+            assert m[p1].sum() <= bound + 1e-9
+            assert m[p2].sum() <= bound + 1e-9
+        # stronger bound for the first measure
+        strong = 0.5 * (m1.sum() + 2 * m1.max())
+        assert m1[p1].sum() <= strong + 1e-9
+        assert m1[p2].sum() <= strong + 1e-9
+
+    def test_three_measures(self, oracle):
+        g = triangulated_mesh(7, 7)
+        rng = np.random.default_rng(1)
+        members = np.arange(g.n, dtype=np.int64)
+        ms = [rng.uniform(0.1, 1.0, g.n) for _ in range(3)]
+        p1, p2 = multi_balanced_bicolor(g, members, ms, oracle)
+        for j, m in enumerate(ms, start=1):
+            bound = 0.75 * (m.sum() + 2 ** (3 - j) * m.max())
+            assert m[p1].sum() <= bound + 1e-9
+
+    def test_empty_members(self, oracle):
+        g = grid_graph(3, 3)
+        p1, p2 = multi_balanced_bicolor(g, np.zeros(0, dtype=np.int64), [np.ones(g.n)], oracle)
+        assert p1.size == 0 and p2.size == 0
+
+    def test_rejects_no_measures(self, oracle):
+        g = grid_graph(3, 3)
+        with pytest.raises(ValueError):
+            multi_balanced_bicolor(g, np.arange(9), [], oracle)
+
+
+class TestLemma9Rebalance:
+    def test_balances_primary_from_trivial(self, oracle):
+        """Starting from everything-in-class-0, Ψ gets balanced."""
+        g = grid_graph(10, 10)
+        w = unit_weights(g)
+        k = 8
+        chi, stats = rebalance(g, Coloring.trivial(g.n, k), w, [], oracle)
+        cw = chi.class_weights(w)
+        avg = w.sum() / k
+        # weak balance: max class = O(avg + wmax); constant from the paper ≈ 3
+        assert cw.max() <= 3 * avg + (2**1) * w.max() + 1e-9
+        assert chi.is_total()
+        assert stats.splits > 0
+
+    def test_preserves_other_measures(self, oracle):
+        g = grid_graph(10, 10)
+        rng = np.random.default_rng(0)
+        w = unit_weights(g)
+        other = rng.uniform(0.5, 2.0, g.n)
+        k = 6
+        chi0, _ = rebalance(g, Coloring.trivial(g.n, k), other, [], oracle)
+        other_max0 = chi0.class_weights(other).max()
+        chi1, _ = rebalance(g, chi0, w, [other], oracle)
+        other_max1 = chi1.class_weights(other).max()
+        # Lemma 9: other measures grow by ≤ 4× + O(‖Φ‖∞)
+        assert other_max1 <= 4 * other_max0 + 16 * other.max() + 1e-9
+
+    def test_noop_when_already_balanced(self, oracle):
+        g = grid_graph(6, 6)
+        w = unit_weights(g)
+        chi = Coloring.round_robin(g.n, 4)
+        out, stats = rebalance(g, chi, w, [], oracle)
+        assert stats.splits == 0
+        assert np.array_equal(out.labels, chi.labels)
+
+    def test_zero_primary_is_noop(self, oracle):
+        g = grid_graph(4, 4)
+        chi = Coloring.trivial(g.n, 3)
+        out, stats = rebalance(g, chi, np.zeros(g.n), [], oracle)
+        assert np.array_equal(out.labels, chi.labels)
+
+    def test_k1_is_noop(self, oracle):
+        g = grid_graph(4, 4)
+        chi = Coloring.trivial(g.n, 1)
+        out, _ = rebalance(g, chi, unit_weights(g), [], oracle)
+        assert np.array_equal(out.labels, chi.labels)
+
+    def test_forest_depth_logarithmic(self, oracle):
+        """Claim 5: F-component depth ≤ log(Ψχ⁻¹(s)/‖Ψ‖avg) ≈ log k."""
+        g = grid_graph(12, 12)
+        w = unit_weights(g)
+        k = 16
+        _, stats = rebalance(g, Coloring.trivial(g.n, k), w, [], oracle)
+        assert stats.forest_depth() <= np.log2(k) + 3
+
+    def test_skewed_weights(self, oracle):
+        g = triangulated_mesh(8, 8)
+        rng = np.random.default_rng(5)
+        w = rng.exponential(1.0, g.n) + 0.01
+        k = 5
+        chi, _ = rebalance(g, Coloring.trivial(g.n, k), w, [], oracle)
+        cw = chi.class_weights(w)
+        avg = w.sum() / k
+        assert cw.max() <= 3 * avg + 2 * w.max() + 1e-9
+
+
+class TestLemma6MultiBalanced:
+    def test_single_measure(self, oracle):
+        g = grid_graph(8, 8)
+        w = unit_weights(g)
+        chi, _ = multi_balanced_coloring(g, 4, [w], oracle)
+        cw = chi.class_weights(w)
+        avg = w.sum() / 4
+        assert cw.max() <= 3 * avg + 2 * w.max() + 1e-9
+
+    def test_three_measures_simultaneously(self, oracle):
+        g = grid_graph(12, 12)
+        rng = np.random.default_rng(2)
+        measures = [rng.uniform(0.5, 2.0, g.n) for _ in range(3)]
+        k = 6
+        chi, _ = multi_balanced_coloring(g, k, measures, oracle)
+        for m in measures:
+            cm = chi.class_weights(m)
+            avg = m.sum() / k
+            # weak balance with the paper's compounding constants (4^r-ish)
+            assert cm.max() <= 4**3 * (avg + m.max()) + 1e-9
+        # the first measure gets the tightest balance
+        m0 = measures[0]
+        assert chi.class_weights(m0).max() <= 3 * m0.sum() / k + 8 * m0.max() + 1e-9
+
+    def test_average_boundary_reasonable(self, oracle):
+        """Lemma 6: avg boundary = O(σ_p k^{-1/p} ‖c‖_p); on a unit a×a grid
+        with k classes this is O(a·√k) — check with a generous constant."""
+        a, k = 16, 4
+        g = grid_graph(a, a)
+        w = unit_weights(g)
+        chi, _ = multi_balanced_coloring(g, k, [w], oracle)
+        assert chi.avg_boundary(g) <= 6 * a * np.sqrt(k)
+
+    def test_total_coloring(self, oracle):
+        g = triangulated_mesh(6, 6)
+        chi, _ = multi_balanced_coloring(g, 5, [unit_weights(g)], oracle)
+        assert chi.is_total()

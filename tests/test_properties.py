@@ -1,0 +1,141 @@
+"""Cross-module property-based suite (hypothesis).
+
+Randomized graphs, weights, and costs; the invariants here are the paper's
+*unconditional* contracts, so any counterexample is a real bug:
+
+* Definition 3 splitting window for every oracle on every instance;
+* Definition 1 strict balance of ``binpack_strict`` and the full pipeline;
+* consistency identities of the boundary bookkeeping;
+* Lemma 20's coarse-cost bound for every (ℓ, α) on grids;
+* Lemma 8's per-measure class bounds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Coloring, binpack_strict, min_max_partition, multi_balanced_bicolor
+from repro.graphs import Graph, cheapest_alpha, coarse_cells, grid_graph
+from repro.separators import (
+    BfsOracle,
+    IndexOracle,
+    LexOracle,
+    SpectralOracle,
+    check_split_window,
+)
+
+FAST = BfsOracle()
+
+
+@st.composite
+def random_graph(draw, max_n=24):
+    """A connected-ish random graph: a grid spanning skeleton + extra edges."""
+    rows = draw(st.integers(2, 5))
+    cols = draw(st.integers(2, 5))
+    g = grid_graph(rows, cols)
+    seed = draw(st.integers(0, 10**6))
+    rng = np.random.default_rng(seed)
+    extra = draw(st.integers(0, 6))
+    existing = {(int(u), int(v)) for u, v in g.edges}
+    new_edges = []
+    for _ in range(extra):
+        u, v = rng.integers(g.n), rng.integers(g.n)
+        lo, hi = int(min(u, v)), int(max(u, v))
+        if lo != hi and (lo, hi) not in existing:
+            existing.add((lo, hi))
+            new_edges.append((lo, hi))
+    edges = np.vstack([g.edges] + ([np.asarray(new_edges)] if new_edges else []))
+    costs = rng.uniform(0.1, 5.0, edges.shape[0])
+    return Graph(g.n, edges, costs), rng
+
+
+class TestOracleWindowProperty:
+    @given(random_graph(), st.floats(0.0, 1.0), st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_all_oracles_meet_window(self, gr, frac, which):
+        g, rng = gr
+        oracle = [IndexOracle(), LexOracle(), BfsOracle(), SpectralOracle()][which]
+        w = rng.exponential(1.0, g.n) + 0.01
+        target = frac * w.sum()
+        u = oracle.split(g, w, target)
+        assert check_split_window(w, target, u)
+
+
+class TestStrictBalanceProperty:
+    @given(random_graph(), st.integers(2, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_binpack_strict_always(self, gr, k):
+        g, rng = gr
+        w = rng.exponential(1.0, g.n) + 0.01
+        chi = Coloring(rng.integers(0, k, g.n), k)
+        out = binpack_strict(g, chi, w, FAST)
+        assert out.is_strictly_balanced(w)
+        assert out.is_total()
+
+    @given(random_graph(), st.integers(2, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_pipeline_always(self, gr, k):
+        g, rng = gr
+        w = rng.exponential(1.0, g.n) + 0.01
+        res = min_max_partition(g, k, weights=w, oracle=FAST)
+        assert res.is_strictly_balanced()
+
+
+class TestBoundaryIdentities:
+    @given(random_graph(), st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_per_class_matches_member_boundary(self, gr, k):
+        """∂χ⁻¹(i) computed vectorized = boundary cost of the member set."""
+        g, rng = gr
+        labels = rng.integers(0, k, g.n)
+        chi = Coloring(labels, k)
+        per = chi.boundary_per_class(g)
+        for i in range(k):
+            assert np.isclose(per[i], g.boundary_cost(chi.class_members(i)))
+
+    @given(random_graph(), st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_psi_sums_to_twice_bichromatic(self, gr, k):
+        """Σ_v Ψ(v) = 2 × total bichromatic cost (each edge at 2 endpoints)."""
+        g, rng = gr
+        labels = rng.integers(0, k, g.n)
+        psi = g.bichromatic_vertex_cost(labels)
+        lu, lv = labels[g.edges[:, 0]], labels[g.edges[:, 1]]
+        bichrom = float(g.costs[lu != lv].sum())
+        assert np.isclose(psi.sum(), 2.0 * bichrom)
+
+    @given(random_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_complement_symmetry(self, gr):
+        g, rng = gr
+        members = np.flatnonzero(rng.random(g.n) < 0.5)
+        comp = np.setdiff1d(np.arange(g.n), members)
+        assert np.isclose(g.boundary_cost(members), g.boundary_cost(comp))
+
+
+class TestLemma20Property:
+    @given(st.integers(3, 8), st.integers(3, 8), st.integers(2, 5), st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_cheapest_alpha_bound(self, rows, cols, ell, seed):
+        g = grid_graph(rows, cols)
+        rng = np.random.default_rng(seed)
+        costs = rng.uniform(0.1, 10.0, g.m)
+        a = cheapest_alpha(g.coords, g.edges, costs, ell)
+        coarse = coarse_cells(g.coords, ell, a)
+        assert coarse.intercell_cost(g.edges, costs) <= costs.sum() / ell + 1e-9
+
+
+class TestLemma8Property:
+    @given(random_graph(), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_per_measure_bounds(self, gr, r):
+        g, rng = gr
+        members = np.arange(g.n, dtype=np.int64)
+        measures = [rng.uniform(0.1, 2.0, g.n) for _ in range(r)]
+        p1, p2 = multi_balanced_bicolor(g, members, measures, FAST)
+        assert sorted(np.concatenate([p1, p2]).tolist()) == members.tolist()
+        for j, m in enumerate(measures, start=1):
+            bound = 0.75 * (m.sum() + 2 ** (r - j) * m.max())
+            assert m[p1].sum() <= bound + 1e-9
+            assert m[p2].sum() <= bound + 1e-9

@@ -1,0 +1,83 @@
+"""Tests for §6 grid coarsening (Lemma 20 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    cheapest_alpha,
+    coarse_cells,
+    cut_alpha_of_edges,
+    grid_graph,
+    uniform_costs,
+)
+
+
+class TestCutAlpha:
+    def test_each_edge_cut_by_exactly_one_alpha(self):
+        """Lemma 20's proof: every edge accounts for exactly one offset."""
+        g = grid_graph(7, 5)
+        for ell in [2, 3, 4]:
+            alpha = cut_alpha_of_edges(g.coords, g.edges, ell)
+            assert np.all((alpha >= 1) & (alpha <= ell))
+            # verify directly against the coarsening
+            for a in range(1, ell + 1):
+                coarse = coarse_cells(g.coords, ell, a)
+                cu = coarse.cell_of_vertex[g.edges[:, 0]]
+                cv = coarse.cell_of_vertex[g.edges[:, 1]]
+                assert np.array_equal(cu != cv, alpha == a)
+
+    def test_3d(self):
+        g = grid_graph(4, 4, 4)
+        ell = 2
+        alpha = cut_alpha_of_edges(g.coords, g.edges, ell)
+        for a in range(1, ell + 1):
+            coarse = coarse_cells(g.coords, ell, a)
+            cu = coarse.cell_of_vertex[g.edges[:, 0]]
+            cv = coarse.cell_of_vertex[g.edges[:, 1]]
+            assert np.array_equal(cu != cv, alpha == a)
+
+
+class TestCheapestAlpha:
+    def test_lemma20_bound(self):
+        """‖c/ϕ_α*‖₁ ≤ ‖c‖₁/ℓ for the chosen α*."""
+        g = grid_graph(9, 9)
+        costs = uniform_costs(g, 0.1, 5.0, rng=0)
+        for ell in [2, 3, 4, 5]:
+            a = cheapest_alpha(g.coords, g.edges, costs, ell)
+            coarse = coarse_cells(g.coords, ell, a)
+            assert coarse.intercell_cost(g.edges, costs) <= costs.sum() / ell + 1e-9
+
+    def test_ell_one(self):
+        g = grid_graph(3, 3)
+        assert cheapest_alpha(g.coords, g.edges, np.ones(g.m), 1) == 1
+
+
+class TestCoarseCells:
+    def test_cells_sorted_lexicographically(self):
+        g = grid_graph(6, 6)
+        coarse = coarse_cells(g.coords, 2, 1)
+        cells = coarse.cells
+        # rows must be lexicographically nondecreasing
+        for i in range(cells.shape[0] - 1):
+            assert tuple(cells[i]) < tuple(cells[i + 1])
+
+    def test_cell_weights_sum(self):
+        g = grid_graph(5, 4)
+        w = np.arange(1.0, g.n + 1)
+        coarse = coarse_cells(g.coords, 3, 2)
+        assert np.isclose(coarse.cell_weights(w).sum(), w.sum())
+
+    def test_cube_side_bound(self):
+        """Each cell's vertices fit in a cube of side ℓ."""
+        g = grid_graph(8, 8)
+        for ell in [2, 3]:
+            for alpha in range(1, ell + 1):
+                coarse = coarse_cells(g.coords, ell, alpha)
+                for cid in range(coarse.num_cells):
+                    pts = g.coords[coarse.cell_of_vertex == cid]
+                    assert np.all(pts.max(axis=0) - pts.min(axis=0) < ell)
+
+    def test_rejects_bad_ell(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(ValueError):
+            coarse_cells(g.coords, 0, 1)

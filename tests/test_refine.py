@@ -1,0 +1,85 @@
+"""Tests for the window-preserving k-way FM refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core import Coloring, kway_refine, pairwise_refine
+from repro.graphs import grid_graph, triangulated_mesh, unit_weights
+
+
+class TestKwayRefine:
+    def test_strict_balance_preserved(self):
+        g = grid_graph(12, 12)
+        w = unit_weights(g)
+        k = 4
+        chi = Coloring(np.random.default_rng(0).integers(0, k, g.n), k)
+        # force strict balance first via equal random assignment
+        labels = np.repeat(np.arange(k), g.n // k)
+        np.random.default_rng(0).shuffle(labels)
+        chi = Coloring(labels, k)
+        assert chi.is_strictly_balanced(w)
+        out = kway_refine(g, chi, w, rounds=3)
+        assert out.is_strictly_balanced(w)
+
+    def test_cut_never_increases(self):
+        g = triangulated_mesh(10, 10)
+        w = unit_weights(g)
+        k = 4
+        labels = np.repeat(np.arange(k), g.n // k)
+        np.random.default_rng(1).shuffle(labels)
+        chi = Coloring(labels, k)
+        before = chi.max_boundary(g)
+        out = kway_refine(g, chi, w, rounds=3)
+        assert out.max_boundary(g) <= before + 1e-9
+
+    def test_big_improvement_from_random_start(self):
+        g = grid_graph(16, 16)
+        w = unit_weights(g)
+        k = 4
+        labels = np.repeat(np.arange(k), g.n // k)
+        np.random.default_rng(2).shuffle(labels)
+        chi = Coloring(labels, k)
+        out = kway_refine(g, chi, w, rounds=6)
+        assert out.max_boundary(g) < 0.6 * chi.max_boundary(g)
+
+    def test_k1_noop(self):
+        g = grid_graph(4, 4)
+        chi = Coloring.trivial(g.n, 1)
+        out = kway_refine(g, chi, unit_weights(g), rounds=2)
+        assert np.array_equal(out.labels, chi.labels)
+
+    def test_edgeless_noop(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph(6, np.zeros((0, 2), dtype=np.int64))
+        chi = Coloring.round_robin(6, 2)
+        out = kway_refine(g, chi, np.ones(6), rounds=2)
+        assert np.array_equal(out.labels, chi.labels)
+
+
+class TestPairwiseRefine:
+    def test_respects_explicit_bounds(self):
+        g = grid_graph(8, 8)
+        w = unit_weights(g)
+        labels = (g.coords[:, 1] >= 4).astype(np.int64)
+        lo, hi = 30.0, 34.0
+        changed = pairwise_refine(g, labels, w, 0, 1, lo, hi)
+        cw = np.bincount(labels, weights=w, minlength=2)
+        assert np.all(cw >= lo - 1e-9)
+        assert np.all(cw <= hi + 1e-9)
+
+    def test_improves_jagged_boundary(self):
+        g = grid_graph(10, 10)
+        w = unit_weights(g)
+        # a deliberately jagged vertical split
+        labels = (g.coords[:, 1] + (g.coords[:, 0] % 3) >= 5).astype(np.int64)
+        before = g.boundary_cost(np.flatnonzero(labels == 0))
+        avg = g.n / 2
+        pairwise_refine(g, labels, w, 0, 1, avg - 3, avg + 3)
+        after = g.boundary_cost(np.flatnonzero(labels == 0))
+        assert after <= before
+
+    def test_empty_pair(self):
+        g = grid_graph(4, 4)
+        labels = np.full(g.n, 2, dtype=np.int64)
+        assert not pairwise_refine(g, labels, unit_weights(g), 0, 1, 0.0, 100.0)

@@ -1,0 +1,167 @@
+"""Tests for §5 shrinking (IterativePartition, Corollaries 16-18, Shrink)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Coloring,
+    DecompositionParams,
+    extract_light_part,
+    extract_representative_part,
+    iterative_partition,
+    shrink,
+    splitting_cost_measure,
+)
+from repro.graphs import grid_graph, triangulated_mesh, unit_weights
+from repro.separators import BestOfOracle, BfsOracle
+
+
+@pytest.fixture
+def oracle():
+    return BestOfOracle([BfsOracle()])
+
+
+class TestIterativePartition:
+    def test_parts_cover_and_are_disjoint(self, oracle):
+        g = grid_graph(8, 8)
+        members = np.arange(g.n, dtype=np.int64)
+        w = unit_weights(g)
+        parts = iterative_partition(g, members, w, 8.0, oracle)
+        flat = np.concatenate(parts)
+        assert sorted(flat.tolist()) == members.tolist()
+
+    def test_part_weights_in_window(self, oracle):
+        """Lemma 28: every part except the last has Ψ ∈ [ψ*, ψ*+‖Ψ‖∞];
+        the last has Ψ ≤ 3ψ* + ‖Ψ‖∞."""
+        g = grid_graph(9, 9)
+        rng = np.random.default_rng(0)
+        w = rng.uniform(0.5, 1.5, g.n)
+        psi_star = 7.0
+        parts = iterative_partition(g, np.arange(g.n, dtype=np.int64), w, psi_star, oracle)
+        for part in parts[:-1]:
+            assert psi_star - 1e-9 <= w[part].sum() <= psi_star + w.max() + 1e-9
+        assert w[parts[-1]].sum() <= 3 * psi_star + w.max() + 1e-9
+
+    def test_zero_target(self, oracle):
+        g = grid_graph(3, 3)
+        parts = iterative_partition(g, np.arange(g.n, dtype=np.int64), unit_weights(g), 0.0, oracle)
+        assert len(parts) == 1
+
+    def test_small_set(self, oracle):
+        g = grid_graph(3, 3)
+        parts = iterative_partition(g, np.array([0, 1]), unit_weights(g), 10.0, oracle)
+        assert len(parts) == 1
+
+
+class TestExtractLightPart:
+    def test_weight_window(self, oracle):
+        g = grid_graph(8, 8)
+        w = unit_weights(g)
+        members = np.arange(g.n, dtype=np.int64)
+        x = extract_light_part(g, members, w, 6.0, [w], oracle)
+        assert 6.0 - 1e-9 <= w[x].sum() <= 3 * 6.0 + w.max() + 1e-9
+
+    def test_pigeonhole_small_share(self, oracle):
+        """Lemma 29: the chosen part carries a small share of each measure."""
+        g = grid_graph(10, 10)
+        rng = np.random.default_rng(1)
+        w = unit_weights(g)
+        m1 = rng.uniform(0.5, 1.5, g.n)
+        m2 = rng.uniform(0.5, 1.5, g.n)
+        members = np.arange(g.n, dtype=np.int64)
+        psi_t = 5.0  # ~1/20 of the weight
+        x = extract_light_part(g, members, w, psi_t, [m1, m2], oracle)
+        frac = psi_t / w.sum()
+        for m in (m1, m2):
+            assert m[x].sum() <= 6 * frac * m.sum() + m.max()
+
+    def test_whole_set_when_light(self, oracle):
+        g = grid_graph(3, 3)
+        w = unit_weights(g)
+        x = extract_light_part(g, np.arange(9), w, 20.0, [w], oracle)
+        assert x.size == 9
+
+
+class TestExtractRepresentativePart:
+    def test_weight_reached(self, oracle):
+        g = grid_graph(8, 8)
+        w = unit_weights(g)
+        members = np.arange(g.n, dtype=np.int64)
+        x = extract_representative_part(g, members, w, 6.0, [w], oracle)
+        assert w[x].sum() >= 6.0 - w.max() / 2 - 1e-9
+
+    def test_remainder_shrinks_in_all_measures(self, oracle):
+        """Corollary 18: the complement loses a share of every measure."""
+        g = grid_graph(10, 10)
+        rng = np.random.default_rng(3)
+        w = unit_weights(g)
+        m1 = rng.uniform(0.5, 1.5, g.n)
+        members = np.arange(g.n, dtype=np.int64)
+        x = extract_representative_part(g, members, w, 10.0, [m1], oracle)
+        mask = np.ones(g.n, dtype=bool)
+        mask[x] = False
+        rest = np.flatnonzero(mask)
+        assert m1[rest].sum() < m1.sum()  # strictly shrinks
+        assert m1[x].sum() >= 0.5 * (10.0 / w.sum()) * m1.sum() / 3.0  # proportional share
+
+
+class TestShrink:
+    def test_partition_of_support(self, oracle):
+        g = grid_graph(12, 12)
+        w = unit_weights(g)
+        k = 4
+        chi = Coloring.round_robin(g.n, k)
+        pi = splitting_cost_measure(g, 2.0)
+        chi0, chi1, diag = shrink(g, chi, w, pi, oracle)
+        # W0 and W1 partition V
+        both = (chi0.labels >= 0) & (chi1.labels >= 0)
+        neither = (chi0.labels < 0) & (chi1.labels < 0)
+        assert not both.any()
+        assert not neither.any()
+
+    def test_chi0_class_weights_pinned(self, oracle):
+        """χ₀ classes weigh ≈ ε·Ψ* each (Definition 13(a))."""
+        params = DecompositionParams(epsilon=0.25)
+        g = grid_graph(14, 14)
+        w = unit_weights(g)
+        k = 4
+        psi_star = w.sum() / k
+        chi = Coloring.round_robin(g.n, k)
+        pi = splitting_cost_measure(g, 2.0)
+        chi0, chi1, _ = shrink(g, chi, w, pi, oracle, params)
+        cw0 = chi0.class_weights(w)
+        for i in range(k):
+            assert params.epsilon * psi_star - w.max() / 2 - 1e-9 <= cw0[i]
+            assert cw0[i] <= 3 * params.epsilon * psi_star + 2 * w.max() + 1e-9
+
+    def test_chi1_weakly_balanced_and_smaller(self, oracle):
+        g = grid_graph(14, 14)
+        w = unit_weights(g)
+        k = 4
+        chi = Coloring.round_robin(g.n, k)
+        pi = splitting_cost_measure(g, 2.0)
+        chi0, chi1, _ = shrink(g, chi, w, pi, oracle)
+        n1 = int(np.sum(chi1.labels >= 0))
+        assert n1 < g.n  # Definition 13(c): strictly smaller
+        cw1 = chi1.class_weights(w)
+        psi_star1 = w[chi1.labels >= 0].sum() / k
+        assert cw1.max() <= 4 * psi_star1 + 2 * w.max() + 1e-9
+
+    def test_unbalanced_input_gets_cut_down(self, oracle):
+        """A coloring with one giant class is dismantled by CutDown."""
+        g = grid_graph(12, 12)
+        w = unit_weights(g)
+        k = 6
+        chi = Coloring.trivial(g.n, k)
+        pi = splitting_cost_measure(g, 2.0)
+        chi0, chi1, diag = shrink(g, chi, w, pi, oracle)
+        assert diag.cutdowns + diag.addtos > 0
+        # Claim 2: no color both donates and receives
+        assert not (diag.donors & diag.receivers)
+
+    def test_empty_weights(self, oracle):
+        g = grid_graph(4, 4)
+        chi = Coloring.round_robin(g.n, 2)
+        pi = splitting_cost_measure(g, 2.0)
+        chi0, chi1, _ = shrink(g, chi, np.zeros(g.n), pi, oracle)
+        assert np.array_equal(chi0.labels, chi.labels)

@@ -1,0 +1,103 @@
+"""Tests for the icosphere generator and hierarchical decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core import hierarchical_partition, min_max_partition
+from repro.graphs import icosphere, icosphere_points, is_connected, unit_weights, grid_graph
+from repro.separators import BestOfOracle, BfsOracle
+
+FAST = BestOfOracle([BfsOracle()])
+
+
+class TestIcosphere:
+    @pytest.mark.parametrize("s,n,m", [(0, 12, 30), (1, 42, 120), (2, 162, 480)])
+    def test_euler_counts(self, s, n, m):
+        """n = 10·4^s + 2, m = 30·4^s (Euler: V − E + F = 2, F = 20·4^s)."""
+        g = icosphere(s)
+        assert g.n == n
+        assert g.m == m
+
+    def test_degree_structure(self):
+        """Twelve degree-5 vertices (icosahedron corners), rest degree 6."""
+        g = icosphere(2)
+        deg = g.degree()
+        assert int(np.sum(deg == 5)) == 12
+        assert int(np.sum(deg == 6)) == g.n - 12
+        assert g.max_degree() == 6
+
+    def test_connected(self):
+        assert is_connected(icosphere(1))
+        assert is_connected(icosphere(3))
+
+    def test_points_on_unit_sphere(self):
+        verts, faces = icosphere_points(2)
+        norms = np.linalg.norm(verts, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-9)
+        assert faces.shape == (20 * 16, 3)
+
+    def test_rejects_negative_subdivisions(self):
+        with pytest.raises(ValueError):
+            icosphere(-1)
+
+    def test_partitionable(self):
+        """The climate use case: strictly balanced partition of the sphere."""
+        g = icosphere(2)
+        res = min_max_partition(g, 6, oracle=FAST)
+        assert res.is_strictly_balanced()
+        # bounded degree + separator structure ⇒ modest boundary
+        assert res.max_boundary(g) <= 0.3 * g.m
+
+
+class TestHierarchicalPartition:
+    def test_two_level_structure(self):
+        g = grid_graph(12, 12)
+        res = hierarchical_partition(g, (4, 2), oracle=FAST)
+        assert res.total_parts == 8
+        assert len(res.level_labels) == 2
+        leaf = res.leaf_labels
+        assert leaf.min() >= 0 and leaf.max() < 8
+
+    def test_level0_strictly_balanced(self):
+        g = grid_graph(12, 12)
+        w = unit_weights(g)
+        res = hierarchical_partition(g, (4, 2), weights=w, oracle=FAST)
+        from repro.core import Coloring
+
+        top = Coloring(res.level_labels[0], 4)
+        assert top.is_strictly_balanced(w)
+
+    def test_sublevel_balanced_within_parents(self):
+        """Each parent class's split is strictly balanced for its sub-instance."""
+        g = grid_graph(12, 12)
+        w = unit_weights(g)
+        res = hierarchical_partition(g, (4, 2), weights=w, oracle=FAST)
+        top, sub = res.level_labels
+        from repro.core.balance import is_strictly_balanced
+
+        for parent in range(4):
+            members = np.flatnonzero(top == parent)
+            cw = np.bincount(sub[members], weights=w[members], minlength=2)
+            assert is_strictly_balanced(cw, float(w[members].sum()), float(w[members].max()), 2)
+
+    def test_leaf_coloring_consistent(self):
+        g = grid_graph(8, 8)
+        res = hierarchical_partition(g, (2, 2, 2), oracle=FAST)
+        chi = res.leaf_coloring()
+        assert chi.is_total()
+        assert chi.k == 8
+        sizes = chi.class_sizes()
+        assert sizes.sum() == g.n
+
+    def test_rejects_bad_branching(self):
+        g = grid_graph(4, 4)
+        with pytest.raises(ValueError):
+            hierarchical_partition(g, ())
+        with pytest.raises(ValueError):
+            hierarchical_partition(g, (2, 0))
+
+    def test_mixed_radix_labels(self):
+        g = grid_graph(6, 6)
+        res = hierarchical_partition(g, (3, 2), oracle=FAST)
+        top, sub = res.level_labels
+        assert np.array_equal(res.leaf_labels, top * 2 + sub)

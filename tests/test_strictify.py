@@ -1,0 +1,80 @@
+"""Direct tests for Proposition 11 (shrink-and-conquer balance improvement)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Coloring, DecompositionParams, improve_balance
+from repro.graphs import grid_graph, triangulated_mesh, unit_weights
+from repro.separators import BestOfOracle, BfsOracle
+
+FAST = BestOfOracle([BfsOracle()])
+
+
+def lopsided_coloring(g, k: int, rng) -> Coloring:
+    """A weakly balanced coloring: class 0 gets ~half, rest split the rest."""
+    labels = np.zeros(g.n, dtype=np.int64)
+    order = rng.permutation(g.n)
+    rest = order[g.n // 2 :]
+    for idx, v in enumerate(rest):
+        labels[v] = 1 + (idx * (k - 1)) // rest.size
+    return Coloring(labels, k)
+
+
+class TestImproveBalance:
+    def test_reaches_almost_strict(self):
+        g = grid_graph(14, 14)
+        w = unit_weights(g)
+        k = 4
+        chi = lopsided_coloring(g, k, np.random.default_rng(0))
+        assert not chi.is_almost_strictly_balanced(w)
+        out = improve_balance(g, chi, w, FAST)
+        assert out.is_almost_strictly_balanced(w)
+        assert out.is_total()
+
+    def test_boundary_growth_bounded(self):
+        """§4's claim: balance improvement at O(1) boundary cost."""
+        g = grid_graph(16, 16)
+        w = unit_weights(g)
+        k = 4
+        # a *spatially coherent* weakly balanced start (quadrants, then merge
+        # two quadrants into class 0 to create imbalance)
+        labels = (g.coords[:, 0] >= 8).astype(np.int64) * 2 + (g.coords[:, 1] >= 8).astype(np.int64)
+        labels[labels == 1] = 0
+        chi = Coloring(labels, 4)
+        before = chi.max_boundary(g)
+        out = improve_balance(g, chi, w, FAST)
+        assert out.is_almost_strictly_balanced(w)
+        # generous constant-factor budget plus the degree term
+        assert out.max_boundary(g) <= 6.0 * before + 6.0 * g.max_cost_degree()
+
+    def test_already_balanced_is_cheap(self):
+        g = triangulated_mesh(10, 10)
+        w = unit_weights(g)
+        chi = Coloring.round_robin(g.n, 4)
+        out = improve_balance(g, chi, w, FAST)
+        assert out.is_almost_strictly_balanced(w)
+
+    def test_heavy_vertices_hit_base_case(self):
+        """‖w‖∞ > threshold·avg: Lemma 15 applied directly (no shrink)."""
+        g = grid_graph(8, 8)
+        w = np.ones(g.n)
+        w[:4] = 12.0  # heavy vertices relative to avg class weight
+        k = 4
+        chi = Coloring.trivial(g.n, k)
+        out = improve_balance(g, chi, w, FAST)
+        assert out.is_almost_strictly_balanced(w)
+
+    def test_recursion_depth_cap(self):
+        g = grid_graph(12, 12)
+        w = unit_weights(g)
+        params = DecompositionParams(max_shrink_levels=1)
+        chi = lopsided_coloring(g, 4, np.random.default_rng(1))
+        out = improve_balance(g, chi, w, FAST, params=params)
+        assert out.is_almost_strictly_balanced(w)
+
+    def test_empty_and_single_class(self):
+        g = grid_graph(5, 5)
+        w = unit_weights(g)
+        chi = Coloring.trivial(g.n, 1)
+        out = improve_balance(g, chi, w, FAST)
+        assert np.array_equal(out.labels, chi.labels)

@@ -1,0 +1,92 @@
+"""Tests for the torus generator and the well-behavedness report."""
+
+import numpy as np
+import pytest
+
+from repro.core import min_max_partition
+from repro.graphs import (
+    grid_graph,
+    is_connected,
+    is_grid_graph,
+    lognormal_costs,
+    star_graph,
+    torus_graph,
+    unit_costs,
+)
+from repro.graphs.validation import WellBehavedness, assess
+from repro.separators import BestOfOracle, BfsOracle
+
+FAST = BestOfOracle([BfsOracle()])
+
+
+class TestTorus:
+    def test_regularity(self):
+        g = torus_graph(5, 6)
+        assert np.all(g.degree() == 4)
+        assert g.m == 2 * g.n
+
+    def test_3d(self):
+        g = torus_graph(3, 4, 5)
+        assert np.all(g.degree() == 6)
+        assert is_connected(g)
+
+    def test_not_a_grid_graph(self):
+        """Wrap edges violate §6's L1-distance-1 requirement."""
+        g = torus_graph(4, 4)
+        assert not is_grid_graph(g)  # no coordinates attached
+        assert g.coords is None
+
+    def test_rejects_small_sides(self):
+        with pytest.raises(ValueError):
+            torus_graph(2, 5)
+
+    def test_partitionable(self):
+        g = torus_graph(8, 8)
+        res = min_max_partition(g, 4, oracle=FAST)
+        assert res.is_strictly_balanced()
+        # a torus band cut costs 2 sides; generous constant
+        assert res.max_boundary(g) <= 6 * 8
+
+    def test_no_boundary_effects(self):
+        """All vertices equivalent: bfs eccentricity the same everywhere."""
+        from repro.graphs import bfs_levels
+
+        g = torus_graph(5, 5)
+        ecc = [int(bfs_levels(g, [v]).max()) for v in range(0, g.n, 7)]
+        assert len(set(ecc)) == 1
+
+
+class TestWellBehavedness:
+    def test_grid_report(self):
+        g = grid_graph(6, 6)
+        wb = assess(g)
+        assert wb.max_degree == 4
+        assert wb.local_fluct == 4.0  # unit costs: φ_ℓ = Δ
+        assert wb.global_fluct == 1.0
+        assert wb.positive_costs
+        assert wb.is_well_behaved()
+
+    def test_star_is_not_well_behaved(self):
+        g = star_graph(100)
+        wb = assess(g)
+        assert wb.max_degree == 99
+        assert not wb.is_well_behaved(degree_bound=16)
+
+    def test_heavy_tail_costs_raise_local_fluct(self):
+        g = grid_graph(10, 10)
+        c = lognormal_costs(g, sigma=2.0, rng=0)
+        wb = assess(g, c)
+        assert wb.local_fluct > assess(g, unit_costs(g)).local_fluct
+
+    def test_zero_cost_flagged(self):
+        g = grid_graph(3, 3)
+        c = unit_costs(g)
+        c[0] = 0.0
+        wb = assess(g, c)
+        assert not wb.positive_costs
+        assert not wb.is_well_behaved()
+
+    def test_thresholds_configurable(self):
+        g = star_graph(20)
+        wb = assess(g)
+        assert wb.is_well_behaved(degree_bound=100, local_fluct_bound=1000)

@@ -1,0 +1,94 @@
+"""Tests for shared utilities, incl. the prefix-splitting window property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import (
+    as_float_array,
+    conjugate_exponent,
+    cumulative_prefix_target,
+    pnorm,
+)
+
+
+class TestPnorm:
+    def test_p1_is_sum(self):
+        assert pnorm(np.array([1.0, 2.0, 3.0]), 1.0) == 6.0
+
+    def test_p2(self):
+        assert np.isclose(pnorm(np.array([3.0, 4.0]), 2.0), 5.0)
+
+    def test_inf_is_max(self):
+        assert pnorm(np.array([1.0, 7.0, 2.0]), np.inf) == 7.0
+
+    def test_empty(self):
+        assert pnorm(np.array([]), 2.0) == 0.0
+
+    def test_monotone_in_p(self):
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        ps = [1.0, 1.5, 2.0, 3.0, 10.0, np.inf]
+        norms = [pnorm(v, p) for p in ps]
+        assert all(a >= b - 1e-12 for a, b in zip(norms, norms[1:]))
+
+
+class TestConjugate:
+    def test_p2_self_conjugate(self):
+        assert conjugate_exponent(2.0) == 2.0
+
+    def test_holder_identity(self):
+        for p in [1.5, 2.0, 3.0, 4.0]:
+            q = conjugate_exponent(p)
+            assert np.isclose(1 / p + 1 / q, 1.0)
+
+    def test_limits(self):
+        assert conjugate_exponent(1.0) == np.inf
+        assert conjugate_exponent(np.inf) == 1.0
+
+    def test_rejects_p_below_one(self):
+        with pytest.raises(ValueError):
+            conjugate_exponent(0.5)
+
+
+class TestAsFloatArray:
+    def test_scalar_broadcast(self):
+        arr = as_float_array(2.0, 3)
+        assert arr.tolist() == [2.0, 2.0, 2.0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            as_float_array([-1.0, 2.0])
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            as_float_array([1.0, 2.0], 3)
+
+
+class TestPrefixTarget:
+    def test_exact_hit(self):
+        w = np.array([1.0, 1.0, 1.0, 1.0])
+        assert cumulative_prefix_target(w, 2.0) == 2
+
+    def test_empty(self):
+        assert cumulative_prefix_target(np.array([]), 1.0) == 0
+
+    def test_target_zero(self):
+        assert cumulative_prefix_target(np.array([5.0, 1.0]), 0.0) == 0
+
+    def test_target_above_total(self):
+        w = np.array([1.0, 2.0])
+        assert cumulative_prefix_target(w, 100.0) == 2
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=60),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_splitting_window_property(self, weights, frac):
+        """Definition 3: the chosen prefix is within ‖w‖∞/2 of the target."""
+        w = np.asarray(weights)
+        target = frac * w.sum()
+        k = cumulative_prefix_target(w, target)
+        achieved = w[:k].sum()
+        assert abs(achieved - target) <= w.max() / 2 + 1e-9
