@@ -7,36 +7,28 @@ bounded local fluctuation for the cost families used).
 Measured: max boundary vs the RHS with O-constant 1, across cost regimes.
 Shape: ratio bounded; the k^(−1/p) decay visible (absolute boundary shrinks
 as k grows, once past the ‖c‖∞ floor).
+
+The cost-regime × k grid runs through the sweep engine; the RHS and ratio
+come straight from the JSON records (``bound_ratio_thm5`` and the stored
+instance norms).
 """
 
-import numpy as np
 import pytest
 
-from repro.analysis import Table, theorem5_rhs
-from repro.core import min_max_partition
-from repro.graphs import (
-    grid_graph,
-    lognormal_costs,
-    triangulated_mesh,
-    uniform_costs,
-    unit_costs,
-)
+from repro.analysis import Table
 from repro.graphs.validation import assess
-from repro.separators import BestOfOracle, BfsOracle, SpectralOracle
+from repro.runtime import ScenarioGrid, build_instance, run_scenario, run_sweep
 
-ORACLE = BestOfOracle([BfsOracle(), SpectralOracle()])
+KS = [2, 4, 8, 16, 32, 64]
 
 
 @pytest.mark.parametrize("costs", ["unit", "uniform", "lognormal"])
-def test_e02_theorem5_upper(benchmark, save_table, costs):
-    g = grid_graph(22, 22)
-    rng = np.random.default_rng(1)
-    c = {
-        "unit": unit_costs(g),
-        "uniform": uniform_costs(g, 0.5, 2.0, rng=rng),
-        "lognormal": lognormal_costs(g, sigma=0.8, rng=rng),
-    }[costs]
-    g = g.with_costs(c)
+def test_e02_theorem5_upper(benchmark, save_table, save_sweep, costs):
+    grid = ScenarioGrid(family="grid", size=22, k=KS, costs=costs)
+    results = run_sweep(grid)
+    save_sweep(results, "e02", key=costs, grid=grid)
+
+    g = build_instance(results[0].scenario).graph
     wb = assess(g)
     table = Table(
         f"E2 Theorem 5 upper — grid, {costs} costs (Δ={wb.max_degree}, φ_ℓ={wb.local_fluct:.1f})",
@@ -44,15 +36,17 @@ def test_e02_theorem5_upper(benchmark, save_table, costs):
         note="well-behaved + 2-separator theorem ⇒ ratio = O(1)",
     )
     ratios = []
-    prev = None
-    for k in [2, 4, 8, 16, 32, 64]:
-        res = min_max_partition(g, k, oracle=ORACLE)
-        rhs = theorem5_rhs(g, k, p=2.0)
-        ratio = res.max_boundary(g) / rhs
+    for r in results:
+        rec = r.record()
+        m, inst = rec["metrics"], rec["instance"]
+        k = rec["scenario"]["k"]
+        rhs = inst["cost_norm_p2"] / (k ** 0.5) + inst["cost_max"]
+        ratio = m["bound_ratio_thm5"]
         ratios.append(ratio)
-        table.add(k, res.max_boundary(g), rhs, ratio)
-        assert res.is_strictly_balanced()
+        table.add(k, m["max_boundary"], rhs, ratio)
+        assert m["strictly_balanced"]
     save_table(table, "e02")
     assert max(ratios) <= 10.0
-    # decay shape: boundary at k=64 well below boundary at k=2 in RHS units
-    benchmark.pedantic(lambda: min_max_partition(g, 16, oracle=ORACLE), rounds=1, iterations=1)
+
+    scenario = results[0].scenario.with_(k=16)
+    benchmark.pedantic(lambda: run_scenario(scenario), rounds=1, iterations=1)

@@ -12,9 +12,6 @@ Shape: LB ≤ measured; UB/LB ratio bounded by a modest constant across sizes;
 the relaxed-balance baseline cannot go below the certificate either.
 """
 
-import numpy as np
-import pytest
-
 from repro.analysis import Table, theorem5_rhs
 from repro.baselines import multilevel_partition
 from repro.core import min_max_partition
@@ -25,7 +22,8 @@ from repro.separators import BestOfOracle, BfsOracle
 ORACLE = BestOfOracle([BfsOracle()])
 
 
-def test_e03_tightness(benchmark, save_table):
+def test_e03_tightness(benchmark, save_table, save_json):
+    rows = []
     table = Table(
         "E3 tight instances — ⌊k/4⌋ copies of a×a unit grids",
         ["a", "k", "certified LB (avg ∂)", "ours avg ∂", "ours max ∂", "ML(5%) avg ∂", "Thm5 RHS", "RHS/LB"],
@@ -48,7 +46,17 @@ def test_e03_tightness(benchmark, save_table):
         ratios.append(rhs / lb)
         table.add(a, k, lb, res.avg_boundary(inst.graph), res.max_boundary(inst.graph),
                   ml.avg_boundary(inst.graph), rhs, rhs / lb)
+        rows.append(
+            {
+                "a": a, "k": k, "certified_lb": float(lb),
+                "ours_avg_boundary": float(res.avg_boundary(inst.graph)),
+                "ours_max_boundary": float(res.max_boundary(inst.graph)),
+                "multilevel_avg_boundary": float(ml.avg_boundary(inst.graph)),
+                "thm5_rhs": float(rhs), "rhs_over_lb": float(rhs / lb),
+            }
+        )
     save_table(table, "e03")
+    save_json(rows, "e03", key="tightness")
     # tightness shape: UB within a fixed constant of the certified LB
     assert max(ratios) <= 8.0
 

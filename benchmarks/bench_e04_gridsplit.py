@@ -21,8 +21,9 @@ SHAPES = {1: (4096,), 2: (28, 28), 3: (10, 10, 10)}
 
 
 @pytest.mark.parametrize("d", [1, 2, 3])
-def test_e04_gridsplit(benchmark, save_table, d):
+def test_e04_gridsplit(benchmark, save_table, save_json, d):
     rng = np.random.default_rng(d)
+    rows = []
     table = Table(
         f"E4 GridSplit — {d}-dimensional grid {SHAPES[d]}, p = d/(d−1)",
         ["φ", "cut cost", "Thm 19 RHS", "ratio", "window ok", "monotone"],
@@ -42,8 +43,15 @@ def test_e04_gridsplit(benchmark, save_table, d):
         ratio = cost / rhs if rhs > 0 else 0.0
         ratios.append(ratio)
         table.add(f"{phi:.0e}", cost, rhs, ratio, ok, mono)
+        rows.append(
+            {
+                "phi": float(phi), "cut_cost": float(cost), "thm19_rhs": float(rhs),
+                "ratio": float(ratio), "window_ok": bool(ok), "monotone": bool(mono),
+            }
+        )
         assert ok and mono
     save_table(table, "e04")
+    save_json(rows, "e04", key=f"d={d}")
     assert max(ratios) <= 3.0  # O-constant observed ≈ 0.05-0.5
 
     g = grid_graph(*SHAPES[d])

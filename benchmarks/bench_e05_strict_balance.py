@@ -9,55 +9,59 @@ Measured: Definition 1 margin across hostile weight families × k, for our
 pipeline and greedy; window utilization (how much of the allowance the worst
 class uses); and a forced-deviation instance where *every* coloring must use
 most of the window.
+
+The families × k × algorithm grid runs through the sweep engine; the
+deviation/window column is derived from the JSON records
+(``1 − balance_margin / ((1 − 1/k)·‖w‖∞)``).  The forced-deviation residue
+study stays bespoke but dumps its rows into ``out/e05.json`` too.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import Table
-from repro.baselines import greedy_list_scheduling
 from repro.core import min_max_partition
-from repro.graphs import (
-    bimodal_weights,
-    exponential_weights,
-    geometric_weights,
-    grid_graph,
-    one_heavy_weights,
-    unit_weights,
-    zipf_weights,
-)
-from repro.separators import BestOfOracle, BfsOracle
+from repro.graphs import grid_graph, unit_weights
+from repro.runtime import ScenarioGrid, make_oracle, run_scenario, run_sweep
 
-ORACLE = BestOfOracle([BfsOracle()])
-
-FAMILIES = {
-    "unit": lambda g: unit_weights(g),
-    "zipf": lambda g: zipf_weights(g, rng=0),
-    "bimodal": lambda g: bimodal_weights(g, 0.05, 40.0, rng=1),
-    "one-heavy": lambda g: one_heavy_weights(g, heavy=40.0),
-    "exponential": lambda g: exponential_weights(g, rng=2),
-    "geometric": lambda g: geometric_weights(g, 1.05),
-}
+ORACLE = make_oracle("bfs")
+WEIGHT_FAMILIES = ["unit", "zipf", "bimodal", "one-heavy", "exponential", "geometric"]
 
 
-def test_e05_strict_balance(benchmark, save_table):
-    g = grid_graph(16, 16)
+def dev_over_window(rec: dict) -> float:
+    """Definition 1 deviation / window, recomputed from a JSON record."""
+    k = rec["scenario"]["k"]
+    window = (1.0 - 1.0 / k) * rec["instance"]["weight_max"]
+    return 1.0 - rec["metrics"]["balance_margin"] / window
+
+
+def test_e05_strict_balance(benchmark, save_table, save_sweep, save_json):
+    grid = ScenarioGrid(
+        family="grid", size=16, k=[3, 8],
+        algorithm=["minmax", "greedy"], weights=WEIGHT_FAMILIES,
+        params=[{"oracle": "bfs"}],
+    )
+    results = run_sweep(grid)
+    save_sweep(results, "e05", key="window", grid=grid)
+
+    by_cell = {
+        (r.scenario.weights, r.scenario.k, r.scenario.algorithm): r.record() for r in results
+    }
     table = Table(
         "E5 Definition 1 window — deviation / allowed window (≤ 1 = strictly balanced)",
         ["weights", "k", "ours dev/window", "greedy dev/window", "ours max ∂", "greedy max ∂"],
         note="both meet the window; only ours also controls the boundary",
     )
-    for name, make_w in FAMILIES.items():
-        w = make_w(g)
-        window = lambda k: (1 - 1 / k) * w.max()
+    for name in WEIGHT_FAMILIES:
         for k in [3, 8]:
-            res = min_max_partition(g, k, weights=w, oracle=ORACLE)
-            greedy = greedy_list_scheduling(g, k, w)
-            dev_ours = np.abs(res.class_weights() - w.sum() / k).max() / window(k)
-            cw_g = greedy.class_weights(w)
-            dev_greedy = np.abs(cw_g - w.sum() / k).max() / window(k)
-            table.add(name, k, dev_ours, dev_greedy, res.max_boundary(g), greedy.max_boundary(g))
-            assert res.is_strictly_balanced(), (name, k)
+            ours = by_cell[(name, k, "minmax")]
+            greedy = by_cell[(name, k, "greedy")]
+            dev_ours = dev_over_window(ours)
+            dev_greedy = dev_over_window(greedy)
+            table.add(
+                name, k, dev_ours, dev_greedy,
+                ours["metrics"]["max_boundary"], greedy["metrics"]["max_boundary"],
+            )
+            assert ours["metrics"]["strictly_balanced"], (name, k)
             assert dev_ours <= 1.0 + 1e-7
             assert dev_greedy <= 1.0 + 1e-7
     save_table(table, "e05")
@@ -67,6 +71,7 @@ def test_e05_strict_balance(benchmark, save_table):
         "E5 forced window use — unit weights, k ∤ n (every coloring deviates)",
         ["n", "k", "forced min deviation", "ours deviation", "window"],
     )
+    forced_rows = []
     for n_side, k in [(7, 4), (9, 7), (11, 8)]:
         gg = grid_graph(n_side, n_side)
         n = gg.n
@@ -78,11 +83,13 @@ def test_e05_strict_balance(benchmark, save_table):
         forced_dev = min(frac, 1 - frac)
         dev = np.abs(res.class_weights() - n / k).max()
         forced.add(n, k, forced_dev, dev, (1 - 1 / k) * 1.0)
+        forced_rows.append(
+            {"n": n, "k": k, "forced_min_deviation": float(forced_dev), "deviation": float(dev)}
+        )
         assert dev >= forced_dev - 1e-9
         assert res.is_strictly_balanced()
     save_table(forced, "e05")
+    save_json(forced_rows, "e05", key="forced-deviation")
 
-    w = FAMILIES["zipf"](g)
-    benchmark.pedantic(
-        lambda: min_max_partition(g, 8, weights=w, oracle=ORACLE), rounds=1, iterations=1
-    )
+    scenario = results[0].scenario.with_(k=8, weights="zipf")
+    benchmark.pedantic(lambda: run_scenario(scenario), rounds=1, iterations=1)

@@ -10,76 +10,69 @@ Measured: max/avg boundary and balance of all baselines on a boundary-
 heterogeneous instance (cost hot-spot grid) and on the climate mesh.
 Shape: greedy's boundary ≫ everyone else's; ours strictly balanced with
 max boundary within a small factor of the best relaxed-balance result.
+
+All method runs go through the sweep engine (one scenario per method) so
+the comparison table is a rendering of ``out/e06.json``.
 """
 
-import numpy as np
 import pytest
 
-from repro.analysis import Table, evaluate_coloring
-from repro.baselines import (
-    greedy_list_scheduling,
-    kst_partition,
-    multilevel_partition,
-    recursive_bisection,
-)
-from repro.apps import climate_workload
-from repro.core import min_max_partition
-from repro.graphs import grid_graph
-from repro.separators import BestOfOracle, BfsOracle, SpectralOracle
+from repro.analysis import Table
+from repro.runtime import Scenario, run_scenario, run_sweep
 
-ORACLE = BestOfOracle([BfsOracle(), SpectralOracle()])
+#: (display name, algorithm, extra params) — one scenario per method
+METHODS = [
+    ("greedy-LPT", "greedy", {}),
+    ("recursive-bisection", "recursive-bisection", {}),
+    ("KST (eps=0)", "kst", {"eps": 0.0}),
+    ("KST (eps=0.3)", "kst", {"eps": 0.3}),
+    ("multilevel (5%)", "multilevel", {"imbalance": 0.05}),
+    ("min-max (ours)", "minmax", {}),
+]
 
-
-def _hotspot_grid():
-    g0 = grid_graph(24, 24)
-    mid = (g0.coords[g0.edges[:, 0]] + g0.coords[g0.edges[:, 1]]) / 2.0
-    d = np.linalg.norm(mid - np.array([4.0, 4.0]), axis=1)
-    return g0.with_costs(1.0 + 60.0 * np.exp(-((d / 4.0) ** 2)))
+INSTANCES = {
+    "hotspot-grid": dict(family="grid", size=24, costs="hotspot"),
+    "climate-mesh": dict(family="climate", size=18, costs="native"),
+}
 
 
 @pytest.mark.parametrize("instance", ["hotspot-grid", "climate-mesh"])
-def test_e06_baselines(benchmark, save_table, instance):
-    if instance == "hotspot-grid":
-        g = _hotspot_grid()
-        w = np.ones(g.n)
-    else:
-        wl = climate_workload(18, 24, rng=3)
-        g, w = wl.graph, wl.weights
+def test_e06_baselines(benchmark, save_table, save_sweep, instance):
+    base = INSTANCES[instance]
     k = 8
-    runs = {
-        "greedy-LPT": lambda: greedy_list_scheduling(g, k, w),
-        "recursive-bisection": lambda: recursive_bisection(g, k, w, oracle=ORACLE),
-        "KST (eps=0)": lambda: kst_partition(g, k, w, oracle=ORACLE, eps=0.0),
-        "KST (eps=0.3)": lambda: kst_partition(g, k, w, oracle=ORACLE, eps=0.3),
-        "multilevel (5%)": lambda: multilevel_partition(g, k, w, imbalance=0.05, rng=0),
-        "min-max (ours)": lambda: min_max_partition(g, k, weights=w, oracle=ORACLE).coloring,
-    }
+    scenarios = [
+        Scenario(k=k, algorithm=algo, params=tuple(sorted(params.items())), **base)
+        for _, algo, params in METHODS
+    ]
+    results = run_sweep(scenarios)
+    save_sweep(results, "e06", key=instance)
+
+    n = results[0].instance["n"]
     table = Table(
-        f"E6 baselines — {instance} (n={g.n}, k={k})",
+        f"E6 baselines — {instance} (n={n}, k={k})",
         ["method", "max ∂", "avg ∂", "total cut", "strictly balanced"],
         note="ours: strict balance AND controlled max boundary simultaneously",
     )
-    results = {}
-    for name, make in runs.items():
-        chi = make()
-        m = evaluate_coloring(g, chi, w)
-        results[name] = m
-        table.add(name, m.max_boundary, m.avg_boundary, m.total_cut, m.strictly_balanced)
+    metrics = {}
+    for (name, _, _), r in zip(METHODS, results):
+        m = r.metrics
+        metrics[name] = m
+        table.add(name, m["max_boundary"], m["avg_boundary"], m["total_cut"], m["strictly_balanced"])
     save_table(table, "e06")
 
-    ours = results["min-max (ours)"]
-    assert ours.strictly_balanced
+    ours = metrics["min-max (ours)"]
+    assert ours["strictly_balanced"]
     # greedy pays a large boundary factor over ours; on hot-spot cost
     # structures a few huge edges dominate every class's max, so the robust
     # signal is the average boundary (and the max still degrades)
-    assert results["greedy-LPT"].avg_boundary > 2.0 * ours.avg_boundary
-    assert results["greedy-LPT"].max_boundary > 1.2 * ours.max_boundary
+    assert metrics["greedy-LPT"]["avg_boundary"] > 2.0 * ours["avg_boundary"]
+    assert metrics["greedy-LPT"]["max_boundary"] > 1.2 * ours["max_boundary"]
     # ours within a small factor of the best relaxed-balance competitor
     best_relaxed = min(
-        results["multilevel (5%)"].max_boundary,
-        results["KST (eps=0.3)"].max_boundary,
-        results["recursive-bisection"].max_boundary,
+        metrics["multilevel (5%)"]["max_boundary"],
+        metrics["KST (eps=0.3)"]["max_boundary"],
+        metrics["recursive-bisection"]["max_boundary"],
     )
-    assert ours.max_boundary <= 2.5 * best_relaxed
+    assert ours["max_boundary"] <= 2.5 * best_relaxed
 
-    benchmark.pedantic(runs["min-max (ours)"], rounds=1, iterations=1)
+    benchmark.pedantic(lambda: run_scenario(scenarios[-1]), rounds=1, iterations=1)

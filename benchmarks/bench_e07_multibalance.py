@@ -11,7 +11,6 @@ ablation (Φ^(r+1) on/off).
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import Table
 from repro.core import boundary_balanced_coloring, multi_balanced_coloring
@@ -21,7 +20,8 @@ from repro.separators import BestOfOracle, BfsOracle
 ORACLE = BestOfOracle([BfsOracle()])
 
 
-def test_e07_multibalance(benchmark, save_table):
+def test_e07_multibalance(benchmark, save_table, save_json):
+    rows = []
     g = triangulated_mesh(18, 18)
     rng = np.random.default_rng(0)
     k = 8
@@ -38,8 +38,16 @@ def test_e07_multibalance(benchmark, save_table):
             cm = chi.class_weights(m)
             worst = max(worst, float(cm.max()) / (m.sum() / k + m.max()))
         table.add(r, worst, chi.avg_boundary(g), chi.max_boundary(g))
+        rows.append(
+            {
+                "r": r, "worst_balance_ratio": float(worst),
+                "avg_boundary": float(chi.avg_boundary(g)),
+                "max_boundary": float(chi.max_boundary(g)),
+            }
+        )
         assert worst <= 4.0 ** r  # paper's compounding constants, generous
     save_table(table, "e07")
+    save_json(rows, "e07", key="multibalance")
 
     # Proposition 7 ablation: dynamic monochromatic measure on/off
     ab = Table(

@@ -6,58 +6,53 @@ Measured: wall-clock of the full pipeline across n (fixed k) and across k
 Shape: pipeline time grows ≈ linearly in n (within an n^1.5 tolerance — the
 oracle's sort/eigen components are slightly superlinear) and sublinearly in
 k; GridSplit time grows ≈ linearly in log φ.
+
+The pipeline timings come from the sweep engine's per-scenario wall-clock
+(``timing=True`` keeps them in the JSON dump — they are the one
+non-deterministic block).  The GridSplit section stays bespoke.
 """
 
 import time
 
 import numpy as np
-import pytest
 
 from repro.analysis import Table
-from repro.core import min_max_partition
-from repro.graphs import fluctuation_costs, grid_graph, zipf_weights
-from repro.separators import BestOfOracle, BfsOracle, grid_split
+from repro.graphs import fluctuation_costs, grid_graph
+from repro.runtime import ScenarioGrid, run_scenario, run_sweep
+from repro.separators import grid_split
 
-ORACLE = BestOfOracle([BfsOracle()])
-
-
-def _time(fn) -> float:
-    t0 = time.perf_counter()
-    fn()
-    return time.perf_counter() - t0
+SWEEP_KW = dict(
+    family="grid", algorithm="minmax", weights="zipf", params=[{"oracle": "bfs"}]
+)
 
 
-def test_e08_runtime(benchmark, save_table):
+def test_e08_runtime(benchmark, save_table, save_sweep):
     # --- scaling in n (k fixed) -------------------------------------------
+    grid_n = ScenarioGrid(size=[16, 24, 34, 48], k=8, **SWEEP_KW)
+    res_n = run_sweep(grid_n)
+    save_sweep(res_n, "e08", key="scaling-n", grid=grid_n, timing=True)
     t_n = Table(
         "E8 runtime vs n — full pipeline, k=8",
         ["n", "time (s)", "time / n (µs)"],
         note="Theorem 4: O(t(|G|) log k) with t linear for the BFS oracle",
     )
-    times_n = []
-    sizes = [16, 24, 34, 48]
-    for side in sizes:
-        g = grid_graph(side, side)
-        w = zipf_weights(g, rng=0)
-        dt = _time(lambda: min_max_partition(g, 8, weights=w, oracle=ORACLE))
-        times_n.append((g.n, dt))
-        t_n.add(g.n, dt, dt / g.n * 1e6)
+    for r in res_n:
+        t_n.add(r.instance["n"], r.wall_clock_s, r.wall_clock_s / r.instance["n"] * 1e6)
     save_table(t_n, "e08")
-    n0, t0 = times_n[0]
-    n1, t1 = times_n[-1]
+    n0, t0 = res_n[0].instance["n"], res_n[0].wall_clock_s
+    n1, t1 = res_n[-1].instance["n"], res_n[-1].wall_clock_s
     growth = np.log(t1 / t0) / np.log(n1 / n0)
     assert growth <= 1.8, f"superlinear runtime exponent {growth:.2f}"
 
     # --- scaling in k (n fixed) -------------------------------------------
+    grid_k = ScenarioGrid(size=34, k=[2, 8, 32], **SWEEP_KW)
+    res_k = run_sweep(grid_k)
+    save_sweep(res_k, "e08", key="scaling-k", grid=grid_k, timing=True)
     t_k = Table("E8 runtime vs k — 34×34 grid", ["k", "time (s)"])
-    g = grid_graph(34, 34)
-    w = zipf_weights(g, rng=0)
-    times_k = []
-    for k in [2, 8, 32]:
-        dt = _time(lambda: min_max_partition(g, k, weights=w, oracle=ORACLE))
-        times_k.append(dt)
-        t_k.add(k, dt)
+    for r in res_k:
+        t_k.add(r.scenario.k, r.wall_clock_s)
     save_table(t_k, "e08")
+    times_k = [r.wall_clock_s for r in res_k]
     # log k scaling: 16× more colors should cost far less than 16× the time
     assert times_k[-1] <= 8.0 * times_k[0] + 0.5
 
@@ -68,12 +63,11 @@ def test_e08_runtime(benchmark, save_table):
         g = grid_graph(40, 40)
         g = g.with_costs(fluctuation_costs(g, phi, rng=rng))
         wu = np.ones(g.n)
-        dt = _time(lambda: grid_split(g, wu, g.n / 2.0))
+        t0 = time.perf_counter()
+        grid_split(g, wu, g.n / 2.0)
+        dt = time.perf_counter() - t0
         t_phi.add(f"{phi:.0e}", dt, dt / np.log2(phi + 2) * 1e3)
     save_table(t_phi, "e08")
 
-    g = grid_graph(24, 24)
-    w = zipf_weights(g, rng=0)
-    benchmark.pedantic(
-        lambda: min_max_partition(g, 8, weights=w, oracle=ORACLE), rounds=2, iterations=1
-    )
+    scenario = grid_n.scenarios()[1]
+    benchmark.pedantic(lambda: run_scenario(scenario), rounds=2, iterations=1)

@@ -11,7 +11,6 @@ direct one; both directions produce valid objects on every trial.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import Table, estimate_splittability
 from repro.graphs import grid_graph, random_regular_graph, triangulated_mesh, unit_weights
@@ -34,7 +33,8 @@ FAMILIES = {
 }
 
 
-def test_e09_conversion(benchmark, save_table):
+def test_e09_conversion(benchmark, save_table, save_json):
+    rows = []
     table = Table(
         "E9 Lemma 37 — σ̂₂ of direct vs separator-derived oracles",
         ["family", "Δ", "φ_ℓ", "σ̂₂ direct (BFS)", "σ̂₂ via Split(BFS-sep)", "σ̂₂ via Split(Fiedler-sep)"],
@@ -51,9 +51,17 @@ def test_e09_conversion(benchmark, save_table):
             g, SeparatorBasedOracle(fiedler_separator), p=2.0, trials=6, rng=0
         ).sigma_hat
         table.add(name, wb.max_degree, wb.local_fluct, direct, via_bfs, via_fiedler)
+        rows.append(
+            {
+                "family": name, "max_degree": int(wb.max_degree),
+                "local_fluct": float(wb.local_fluct), "sigma_direct": float(direct),
+                "sigma_via_bfs_sep": float(via_bfs), "sigma_via_fiedler_sep": float(via_fiedler),
+            }
+        )
         factor = wb.local_fluct * np.sqrt(wb.max_degree)
         assert via_bfs <= factor * max(direct, 1e-9) * 4.0
     save_table(table, "e09")
+    save_json(rows, "e09", key="oracle-sigma")
 
     # other direction: splitting set -> balanced separation, with cost audit
     sep_table = Table(

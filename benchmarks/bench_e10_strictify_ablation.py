@@ -11,7 +11,6 @@ factor relative to the Prop 7 stage.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import Table
 from repro.core import DecompositionParams, min_max_partition
@@ -29,7 +28,8 @@ STAGES = {
 }
 
 
-def test_e10_strictify_ablation(benchmark, save_table):
+def test_e10_strictify_ablation(benchmark, save_table, save_json):
+    rows = []
     table = Table(
         "E10 strictification ablation — deviation/window and max ∂ per stage",
         ["instance", "stage", "dev/window", "max ∂", "strictly balanced"],
@@ -51,11 +51,19 @@ def test_e10_strictify_ablation(benchmark, save_table):
             if stage == "prop7 only":
                 base_boundary = mb
             table.add(name, stage, dev, mb, res.is_strictly_balanced())
+            rows.append(
+                {
+                    "instance": name, "stage": stage, "dev_over_window": float(dev),
+                    "max_boundary": float(mb),
+                    "strictly_balanced": bool(res.is_strictly_balanced()),
+                }
+            )
             if stage in ("+prop12", "+FM refine"):
                 assert res.is_strictly_balanced()
                 # "at no cost": bounded growth over the weakly balanced stage
                 assert mb <= 4.0 * base_boundary + 4.0 * g.max_cost_degree()
     save_table(table, "e10")
+    save_json(rows, "e10", key="stages")
 
     g, k = instances["grid 20×20, zipf, k=8"]
     w = zipf_weights(g, rng=0)

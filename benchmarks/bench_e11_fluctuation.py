@@ -20,7 +20,8 @@ SHAPES = {2: (24, 24), 3: (9, 9, 9)}
 
 
 @pytest.mark.parametrize("d", [2, 3])
-def test_e11_fluctuation(benchmark, save_table, d):
+def test_e11_fluctuation(benchmark, save_table, save_json, d):
+    rows = []
     rng = np.random.default_rng(d)
     p = d / (d - 1)
     table = Table(
@@ -49,7 +50,15 @@ def test_e11_fluctuation(benchmark, save_table, d):
         naive_ratios.append(norm_cost / naive_curve)
         table.add(f"{phi:.0e}", norm_cost, log_curve, norm_cost / log_curve,
                   naive_curve, norm_cost / naive_curve)
+        rows.append(
+            {
+                "phi": float(phi), "normalized_cost": norm_cost,
+                "log_curve": float(log_curve), "ratio_log": float(norm_cost / log_curve),
+                "naive_curve": float(naive_curve), "ratio_naive": float(norm_cost / naive_curve),
+            }
+        )
     save_table(table, "e11")
+    save_json(rows, "e11", key=f"d={d}")
     # flat against the log^(1/d) curve: bounded, no trend blow-up
     assert max(log_ratios) <= 2.0
     # the naive bound becomes irrelevant for large φ

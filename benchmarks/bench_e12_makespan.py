@@ -12,11 +12,8 @@ small factor of the best at every β and is the only strictly balanced,
 max-boundary-controlled schedule.
 """
 
-import numpy as np
-import pytest
-
 from repro.analysis import Table
-from repro.apps import MachineModel, climate_workload, evaluate_partitioners
+from repro.apps import MachineModel, climate_workload
 from repro.baselines import greedy_list_scheduling, multilevel_partition, recursive_bisection
 from repro.core import min_max_partition
 from repro.separators import BestOfOracle, BfsOracle, SpectralOracle
@@ -24,7 +21,8 @@ from repro.separators import BestOfOracle, BfsOracle, SpectralOracle
 ORACLE = BestOfOracle([BfsOracle(), SpectralOracle()])
 
 
-def test_e12_makespan(benchmark, save_table):
+def test_e12_makespan(benchmark, save_table, save_json):
+    rows = []
     wl = climate_workload(20, 30, rng=5)
     g, w = wl.graph, wl.weights
     k = 8
@@ -47,6 +45,8 @@ def test_e12_makespan(benchmark, save_table):
         winner = min(spans, key=spans.get)
         table.add(beta, spans["greedy-LPT"], spans["recursive-bisection"],
                   spans["multilevel (5%)"], spans["min-max (ours)"], winner)
+        rows.append({"beta": float(beta), "winner": winner,
+                     "makespans": {name: float(v) for name, v in spans.items()}})
         if beta >= 1.0 and winner == "greedy-LPT":
             greedy_wins_at_high_beta = True
         if beta >= 0.5:
@@ -54,6 +54,7 @@ def test_e12_makespan(benchmark, save_table):
             # ours within a small factor of the best schedule at every β
             assert spans["min-max (ours)"] <= 1.6 * min(spans.values())
     save_table(table, "e12")
+    save_json(rows, "e12", key="beta-sweep")
     assert not greedy_wins_at_high_beta
     # ours is strictly balanced; multilevel generally is not under Def. 1
     assert colorings["min-max (ours)"].is_strictly_balanced(w, tol=1e-7)

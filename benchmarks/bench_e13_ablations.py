@@ -8,58 +8,55 @@ Not a paper claim; an engineering audit of the reproduction's own choices:
 
 Shape assertions: structured oracles beat unstructured ones; seeding and FM
 never hurt (within tolerance) and help substantially from cold starts.
-"""
 
-import numpy as np
-import pytest
+The oracle ablation runs through the sweep engine (one scenario per oracle,
+via the ``oracle`` param axis); the pipeline-knob ablation stays bespoke
+since ``DecompositionParams`` variants are not part of the scenario space.
+"""
 
 from repro.analysis import Table
 from repro.core import DecompositionParams, min_max_partition
 from repro.graphs import grid_graph, zipf_weights
-from repro.separators import (
-    BestOfOracle,
-    BfsOracle,
-    GridOracle,
-    IndexOracle,
-    RandomOracle,
-    SpectralOracle,
-)
+from repro.runtime import ScenarioGrid, run_scenario, run_sweep
+from repro.separators import BestOfOracle, BfsOracle
+
+#: display name -> oracle registry name
+ORACLE_NAMES = [
+    ("random", "random"),
+    ("index", "index"),
+    ("BFS", "bfs"),
+    ("Fiedler", "spectral"),
+    ("GridSplit", "grid"),
+    ("portfolio", "best3"),
+]
 
 
-def test_e13_oracle_ablation(benchmark, save_table):
-    g = grid_graph(20, 20)
-    w = zipf_weights(g, rng=0)
-    k = 8
-    oracles = {
-        "random": RandomOracle(seed=0),
-        "index": IndexOracle(),
-        "BFS": BfsOracle(),
-        "Fiedler": SpectralOracle(),
-        "GridSplit": GridOracle(),
-        "portfolio": BestOfOracle([BfsOracle(), SpectralOracle(), GridOracle()]),
-    }
+def test_e13_oracle_ablation(benchmark, save_table, save_sweep):
+    grid = ScenarioGrid(
+        family="grid", size=20, k=8, weights="zipf",
+        params=[{"oracle": o} for _, o in ORACLE_NAMES],
+    )
+    results = run_sweep(grid)
+    save_sweep(results, "e13", key="oracle-ablation", grid=grid)
+
     table = Table(
         "E13 oracle ablation — 20×20 grid, zipf weights, k=8",
         ["oracle", "max ∂", "avg ∂", "strictly balanced"],
     )
     scores = {}
-    for name, oracle in oracles.items():
-        res = min_max_partition(g, k, weights=w, oracle=oracle)
-        scores[name] = res.max_boundary(g)
-        table.add(name, res.max_boundary(g), res.avg_boundary(g), res.is_strictly_balanced())
-        assert res.is_strictly_balanced()
+    for (name, _), r in zip(ORACLE_NAMES, results):
+        m = r.metrics
+        scores[name] = m["max_boundary"]
+        table.add(name, m["max_boundary"], m["avg_boundary"], m["strictly_balanced"])
+        assert m["strictly_balanced"]
     save_table(table, "e13")
     assert scores["portfolio"] <= scores["random"]
     assert min(scores["BFS"], scores["Fiedler"]) <= scores["random"]
 
-    benchmark.pedantic(
-        lambda: min_max_partition(g, k, weights=w, oracle=oracles["portfolio"]),
-        rounds=1,
-        iterations=1,
-    )
+    benchmark.pedantic(lambda: run_scenario(results[-1].scenario), rounds=1, iterations=1)
 
 
-def test_e13_pipeline_ablation(benchmark, save_table):
+def test_e13_pipeline_ablation(benchmark, save_table, save_json):
     g = grid_graph(20, 20)
     w = zipf_weights(g, rng=1)
     k = 8
@@ -83,6 +80,7 @@ def test_e13_pipeline_ablation(benchmark, save_table):
         table.add(name, res.max_boundary(g), res.is_strictly_balanced())
         assert res.is_strictly_balanced()
     save_table(table, "e13")
+    save_json({name: float(v) for name, v in scores.items()}, "e13", key="pipeline-ablation")
     # both knobs help markedly from the cold start
     assert scores["full pipeline"] <= 0.8 * scores["no seeding, no FM"]
     # and never hurt by more than noise

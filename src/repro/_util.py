@@ -6,7 +6,7 @@ substrate modules can import it without cycles.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 

@@ -5,10 +5,14 @@ Usage::
     python -m repro partition graph.txt -k 8 --weights w.txt -o labels.txt
     python -m repro evaluate graph.txt labels.txt --weights w.txt
     python -m repro demo --side 24 -k 8
+    python -m repro sweep --family grid mesh --size 16 --k 2 8 \
+        --workers 4 -o sweep.json
 
 ``partition`` writes one class id per line (vertex order).  ``evaluate``
 prints the metric panel for an existing labeling.  ``demo`` runs the
-pipeline on a generated grid and prints the audit table.
+pipeline on a generated grid and prints the audit table.  ``sweep`` expands
+a scenario grid, fans it across worker processes, and writes deterministic
+JSON results (see :mod:`repro.runtime`).
 """
 
 from __future__ import annotations
@@ -65,7 +69,128 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run the pipeline on a generated grid")
     demo.add_argument("--side", type=int, default=24)
     demo.add_argument("-k", type=int, default=8)
+
+    sw = sub.add_parser("sweep", help="run a scenario-grid sweep and emit JSON results")
+    sw.add_argument("--preset", choices=["smoke", "quality", "scaling"],
+                    help="start from a predefined grid (axis flags override it)")
+    sw.add_argument("--family", nargs="+", help="graph families (grid, mesh, torus, ...)")
+    sw.add_argument("--size", nargs="+", type=int, help="family size parameters")
+    sw.add_argument("--k", nargs="+", type=int, help="class counts")
+    sw.add_argument("--algorithm", nargs="+",
+                    help="algorithms (minmax, greedy, recursive-bisection, kst, multilevel)")
+    sw.add_argument("--weights", nargs="+", help="weight distributions (unit, zipf, ...)")
+    sw.add_argument("--costs", nargs="+", help="cost distributions (unit, lognormal, ...)")
+    sw.add_argument("--seed", nargs="+", type=int, help="instance seeds")
+    sw.add_argument("--param", action="append", default=[], metavar="NAME=VALUE",
+                    help="extra scenario parameter (repeatable), e.g. --param eps=0.3")
+    sw.add_argument("--workers", type=int, default=1, help="worker processes (1 = inline)")
+    sw.add_argument("-o", "--output", help="write results JSON here")
+    sw.add_argument("--timing", action="store_true",
+                    help="include the (non-deterministic) timing block in the JSON")
+    sw.add_argument("--table", action="store_true", help="print the results table")
+    sw.add_argument("--cache-dir", help="on-disk instance cache directory")
+    sw.add_argument("--baseline", help="baseline results JSON to gate against")
+    sw.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed relative regression vs the baseline (default 0.20)")
     return parser
+
+
+#: predefined grids; ``smoke`` is the CI bench-smoke grid and must stay small.
+SWEEP_PRESETS = {
+    "smoke": dict(
+        family=["grid", "mesh"], size=[12], k=[2, 4, 8],
+        algorithm=["minmax", "greedy"], weights=["unit", "zipf"], costs=["unit"], seed=[0],
+    ),
+    "quality": dict(
+        family=["grid", "mesh", "torus"], size=[16, 24], k=[2, 4, 8, 16],
+        algorithm=["minmax", "greedy", "recursive-bisection", "multilevel"],
+        weights=["unit", "zipf", "bimodal"], costs=["unit", "lognormal"], seed=[0, 1],
+    ),
+    "scaling": dict(
+        family=["grid"], size=[16, 24, 34, 48], k=[2, 8, 32],
+        algorithm=["minmax"], weights=["zipf"], costs=["unit"], seed=[0],
+    ),
+}
+
+
+def _parse_param(text: str):
+    if "=" not in text:
+        raise SystemExit(f"--param expects NAME=VALUE, got {text!r}")
+    name, raw = text.split("=", 1)
+    if raw.lower() in ("true", "false"):
+        return name, raw.lower() == "true"
+    try:
+        value = int(raw)
+    except ValueError:
+        try:
+            value = float(raw)
+        except ValueError:
+            value = raw
+    return name, value
+
+
+def _run_sweep(args) -> int:
+    from .runtime import (
+        ALGORITHMS,
+        COST_DISTS,
+        FAMILIES,
+        WEIGHT_DISTS,
+        ScenarioGrid,
+        compare_to_baseline,
+        read_results,
+        results_table,
+        run_sweep,
+        write_results,
+    )
+
+    axes = dict(SWEEP_PRESETS[args.preset]) if args.preset else {}
+    for name in ("family", "size", "k", "algorithm", "weights", "costs", "seed"):
+        value = getattr(args, name)
+        if value is not None:
+            axes[name] = value
+    if not axes:
+        raise SystemExit("sweep needs a --preset or at least one axis flag")
+    if args.param:
+        axes["params"] = [dict(_parse_param(p) for p in args.param)]
+    grid = ScenarioGrid(**axes)
+    registries = {
+        "family": FAMILIES, "weights": WEIGHT_DISTS,
+        "costs": COST_DISTS, "algorithm": ALGORITHMS,
+    }
+    for axis, registry in registries.items():
+        unknown = [v for v in getattr(grid, axis) if v not in registry]
+        if unknown:
+            raise SystemExit(
+                f"sweep: unknown {axis} {', '.join(map(repr, unknown))} "
+                f"(have {', '.join(sorted(registry))})"
+            )
+    try:
+        total = len(grid.scenarios())
+    except ValueError as exc:
+        raise SystemExit(f"sweep: {exc}") from exc
+    print(f"sweep: {total} scenarios, {args.workers} worker(s)", file=sys.stderr)
+
+    def _progress(done, total, result):
+        print(
+            f"  [{done}/{total}] {result.scenario_id} "
+            f"{result.scenario.family}/{result.scenario.size} k={result.scenario.k} "
+            f"{result.scenario.algorithm}: max ∂ = {result.metrics['max_boundary']:.6g} "
+            f"({result.wall_clock_s:.2f}s)",
+            file=sys.stderr,
+        )
+
+    results = run_sweep(grid, workers=args.workers, cache_dir=args.cache_dir, progress=_progress)
+    if args.output:
+        write_results(args.output, results, grid=grid, timing=args.timing)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.table or not args.output:
+        results_table(results).show()
+    if args.baseline:
+        report = compare_to_baseline(results, read_results(args.baseline), tolerance=args.tolerance)
+        print(report.render())
+        if not report.ok:
+            return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -115,6 +240,9 @@ def main(argv: list[str] | None = None) -> int:
         table.add("Theorem 4 RHS", theorem4_rhs(g, args.k, 2.0))
         table.show()
         return 0
+
+    if args.command == "sweep":
+        return _run_sweep(args)
     return 2  # pragma: no cover
 
 

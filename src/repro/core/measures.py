@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from .._util import pnorm
 from ..graphs.graph import Graph
 
 __all__ = [

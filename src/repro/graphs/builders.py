@@ -6,7 +6,6 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from .._util import as_float_array
 from .graph import Graph
 
 __all__ = [

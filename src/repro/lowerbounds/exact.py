@@ -17,7 +17,6 @@ import itertools
 
 import numpy as np
 
-from ..core.balance import is_strictly_balanced
 from ..graphs.components import connected_components
 from ..graphs.graph import Graph
 
@@ -156,7 +155,6 @@ def exact_min_max_boundary(g: Graph, weights: np.ndarray, k: int) -> tuple[float
             if class_w[color] + w[v] > avg + window:
                 continue
             delta = np.zeros(k)
-            ok_boundary = True
             for eid, u in inc[v]:
                 if u < v:
                     cu = labels[u]

@@ -1,0 +1,103 @@
+"""Algorithm registry: scenario -> coloring.
+
+Each entry takes ``(instance, scenario)`` and returns a
+:class:`~repro.core.coloring.Coloring`.  Oracles are constructed per call
+from the scenario's ``oracle`` param (default: the BFS+spectral portfolio)
+so runs stay deterministic and worker processes never need to pickle oracle
+objects.
+"""
+
+from __future__ import annotations
+
+from ..baselines import (
+    greedy_list_scheduling,
+    kst_partition,
+    multilevel_partition,
+    recursive_bisection,
+)
+from ..core import DecompositionParams, min_max_partition
+from ..separators import (
+    BestOfOracle,
+    BfsOracle,
+    GridOracle,
+    IndexOracle,
+    RandomOracle,
+    SpectralOracle,
+)
+from .instances import Instance
+from .scenario import Scenario
+
+__all__ = ["ALGORITHMS", "make_oracle", "run_algorithm"]
+
+
+def make_oracle(name: str, seed: int = 0):
+    """Build a separator oracle by name (portfolio by default)."""
+    builders = {
+        "best": lambda: BestOfOracle([BfsOracle(), SpectralOracle()]),
+        "best3": lambda: BestOfOracle([BfsOracle(), SpectralOracle(), GridOracle()]),
+        "bfs": lambda: BfsOracle(),
+        "spectral": lambda: SpectralOracle(),
+        "grid": lambda: GridOracle(),
+        "index": lambda: IndexOracle(),
+        "random": lambda: RandomOracle(seed=seed),
+    }
+    if name not in builders:
+        raise KeyError(f"unknown oracle {name!r} (have {sorted(builders)})")
+    return builders[name]()
+
+
+def _oracle_for(scenario: Scenario):
+    return make_oracle(
+        scenario.param_dict.get("oracle", "best"), seed=scenario.algorithm_seed()
+    )
+
+
+def _minmax(inst: Instance, s: Scenario):
+    p = s.param_dict
+    kwargs = {}
+    if "p" in p or "refine" in p:
+        kwargs["params"] = DecompositionParams(
+            p=float(p.get("p", 2.0)), final_refine=bool(p.get("refine", True))
+        )
+    res = min_max_partition(
+        inst.graph, s.k, weights=inst.weights, oracle=_oracle_for(s), **kwargs
+    )
+    return res.coloring
+
+
+def _greedy(inst: Instance, s: Scenario):
+    return greedy_list_scheduling(inst.graph, s.k, inst.weights)
+
+
+def _recursive_bisection(inst: Instance, s: Scenario):
+    return recursive_bisection(inst.graph, s.k, inst.weights, oracle=_oracle_for(s))
+
+
+def _kst(inst: Instance, s: Scenario):
+    eps = float(s.param_dict.get("eps", 0.0))
+    return kst_partition(inst.graph, s.k, inst.weights, oracle=_oracle_for(s), eps=eps)
+
+
+def _multilevel(inst: Instance, s: Scenario):
+    imbalance = float(s.param_dict.get("imbalance", 0.05))
+    return multilevel_partition(
+        inst.graph, s.k, inst.weights, imbalance=imbalance, rng=s.algorithm_seed()
+    )
+
+
+ALGORITHMS = {
+    "minmax": _minmax,
+    "greedy": _greedy,
+    "recursive-bisection": _recursive_bisection,
+    "kst": _kst,
+    "multilevel": _multilevel,
+}
+
+
+def run_algorithm(inst: Instance, scenario: Scenario):
+    """Dispatch ``scenario.algorithm`` on ``inst`` and return its coloring."""
+    if scenario.algorithm not in ALGORITHMS:
+        raise KeyError(
+            f"unknown algorithm {scenario.algorithm!r} (have {sorted(ALGORITHMS)})"
+        )
+    return ALGORITHMS[scenario.algorithm](inst, scenario)

@@ -1,0 +1,125 @@
+"""The sweep engine: fan scenarios across processes, collect results.
+
+``run_sweep`` is the single entry point.  Determinism contract: the result
+list depends only on the scenario list — never on the worker count, the
+completion order, or the host — because
+
+* every scenario derives its own seeds from its content hash (no ambient
+  RNG state crosses the process boundary),
+* workers receive the (tiny, picklable) scenarios and rebuild instances
+  locally through a per-process :class:`InstanceCache`,
+* results are collected in scenario order via ``Executor.map``.
+
+Wall-clock is measured per scenario but kept out of the deterministic
+payload (see :mod:`.results`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from ..analysis import evaluate_coloring, theorem5_rhs
+from .algorithms import run_algorithm
+from .instances import Instance, InstanceCache
+from .results import ScenarioResult
+from .scenario import Scenario, ScenarioGrid
+
+__all__ = ["run_scenario", "run_sweep"]
+
+# per-worker-process cache, installed by _worker_init
+_WORKER_CACHE: InstanceCache | None = None
+
+
+def _worker_init(cache_dir):
+    global _WORKER_CACHE
+    _WORKER_CACHE = InstanceCache(directory=cache_dir)
+
+
+def _worker_run(scenario: Scenario) -> ScenarioResult:
+    return run_scenario(scenario, cache=_WORKER_CACHE)
+
+
+def _instance_stats(inst: Instance) -> dict:
+    g = inst.graph
+    return {
+        "n": int(g.n),
+        "m": int(g.m),
+        "cost_norm_p2": float(g.cost_norm(2.0)),
+        "cost_max": float(g.costs.max()) if g.m else 0.0,
+        "max_cost_degree": float(g.max_cost_degree()),
+        "weight_total": float(inst.weights.sum()),
+        "weight_max": float(inst.weights.max()) if inst.weights.size else 0.0,
+    }
+
+
+def run_scenario(scenario: Scenario, cache: InstanceCache | None = None) -> ScenarioResult:
+    """Build the instance, run the algorithm, evaluate, and time one cell."""
+    if cache is not None:
+        inst = cache.get(scenario)
+    else:
+        from .instances import build_instance
+
+        inst = build_instance(scenario)
+    t0 = time.perf_counter()
+    coloring = run_algorithm(inst, scenario)
+    wall = time.perf_counter() - t0
+    g = inst.graph
+    m = evaluate_coloring(g, coloring, inst.weights)
+    rhs5 = theorem5_rhs(g, scenario.k, p=2.0)
+    metrics = {
+        "max_boundary": float(m.max_boundary),
+        "avg_boundary": float(m.avg_boundary),
+        "total_cut": float(m.total_cut),
+        "balance_margin": float(m.balance_margin),
+        "strictly_balanced": bool(m.strictly_balanced),
+        "bound_ratio_thm5": float(m.max_boundary / rhs5) if rhs5 > 0 else 0.0,
+    }
+    return ScenarioResult(
+        scenario=scenario,
+        instance=_instance_stats(inst),
+        metrics=metrics,
+        wall_clock_s=wall,
+    )
+
+
+def run_sweep(
+    grid: ScenarioGrid | list[Scenario],
+    workers: int = 1,
+    cache_dir=None,
+    progress=None,
+) -> list[ScenarioResult]:
+    """Run every scenario in ``grid``; results come back in scenario order.
+
+    ``workers <= 1`` runs inline (no subprocesses — debuggable, and what the
+    benchmarks use under pytest).  ``progress`` is an optional callable
+    ``(done, total, result)`` invoked as results arrive.
+    """
+    scenarios = grid.scenarios() if isinstance(grid, ScenarioGrid) else list(grid)
+    total = len(scenarios)
+    results: list[ScenarioResult] = []
+    if workers <= 1:
+        cache = InstanceCache(directory=cache_dir)
+        for i, s in enumerate(scenarios):
+            r = run_scenario(s, cache=cache)
+            results.append(r)
+            if progress is not None:
+                progress(i + 1, total, r)
+        return results
+
+    # sweeps parallelize across scenarios; keep BLAS single-threaded in the
+    # workers so cores are not oversubscribed and timings stay comparable.
+    # Must happen in the parent before the pool forks/spawns — numpy sizes
+    # its thread pool from the environment it is imported into.
+    for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+        os.environ.setdefault(var, "1")
+    chunksize = max(1, total // (workers * 4))
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_init, initargs=(cache_dir,)
+    ) as pool:
+        for i, r in enumerate(pool.map(_worker_run, scenarios, chunksize=chunksize)):
+            results.append(r)
+            if progress is not None:
+                progress(i + 1, total, r)
+    return results

@@ -1,0 +1,188 @@
+"""Instance construction and the content-hash instance cache.
+
+Graph families, edge-cost distributions, and vertex-weight distributions are
+looked up by name in small registries, so a :class:`~.scenario.Scenario` can
+be turned into a concrete ``(Graph, weights)`` pair anywhere — including
+inside a worker process that only received the (picklable) scenario.
+
+Instances are cached by the content hash of their *instance spec* (family,
+size, distributions, seed — see :meth:`Scenario.instance_hash`), in memory
+always and on disk as ``.npz`` when a cache directory is given.  Scenarios
+that differ only in ``k`` or algorithm share one cache entry.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..apps import climate_workload
+from ..graphs import (
+    Graph,
+    bimodal_weights,
+    exponential_weights,
+    fluctuation_costs,
+    geometric_weights,
+    grid_graph,
+    lognormal_costs,
+    one_heavy_weights,
+    path_graph,
+    random_regular_graph,
+    torus_graph,
+    triangulated_mesh,
+    uniform_costs,
+    uniform_weights,
+    unit_costs,
+    unit_weights,
+    zipf_weights,
+)
+from ..graphs.io import load_npz, save_npz
+from .scenario import Scenario
+
+__all__ = [
+    "FAMILIES",
+    "WEIGHT_DISTS",
+    "COST_DISTS",
+    "Instance",
+    "InstanceCache",
+    "build_instance",
+]
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A generated experiment instance: graph (with costs) + vertex weights."""
+
+    graph: Graph
+    weights: np.ndarray
+
+
+# --- registries ------------------------------------------------------------
+# Every builder takes (size, rng, **params) and must be deterministic in
+# (size, rng state, params).  ``size`` is a family-specific scale knob.
+
+def _climate(size, rng, **params):
+    wl = climate_workload(size, (size * 3) // 2, rng=int(rng.integers(2**31)))
+    return wl.graph, wl.weights
+
+
+FAMILIES = {
+    "grid": lambda size, rng, **p: grid_graph(size, size),
+    "grid3d": lambda size, rng, **p: grid_graph(size, size, size),
+    "mesh": lambda size, rng, **p: triangulated_mesh(size, size),
+    "torus": lambda size, rng, **p: torus_graph(size, size),
+    "path": lambda size, rng, **p: path_graph(size),
+    "regular": lambda size, rng, **p: random_regular_graph(
+        size, int(p.get("degree", 4)), rng=rng
+    ),
+    # climate ships its own weights; the weight distribution is ignored for it
+    "climate": _climate,
+}
+
+WEIGHT_DISTS = {
+    "unit": lambda g, rng, **p: unit_weights(g),
+    "uniform": lambda g, rng, **p: uniform_weights(g, rng=rng),
+    "zipf": lambda g, rng, **p: zipf_weights(g, alpha=float(p.get("alpha", 1.2)), rng=rng),
+    "bimodal": lambda g, rng, **p: bimodal_weights(
+        g, float(p.get("heavy_fraction", 0.05)), float(p.get("ratio", 50.0)), rng=rng
+    ),
+    "exponential": lambda g, rng, **p: exponential_weights(g, rng=rng),
+    "one-heavy": lambda g, rng, **p: one_heavy_weights(g, heavy=p.get("heavy")),
+    "geometric": lambda g, rng, **p: geometric_weights(g, float(p.get("ratio", 1.05))),
+}
+
+COST_DISTS = {
+    "unit": lambda g, rng, **p: unit_costs(g),
+    "uniform": lambda g, rng, **p: uniform_costs(
+        g, float(p.get("low", 0.5)), float(p.get("high", 2.0)), rng=rng
+    ),
+    "lognormal": lambda g, rng, **p: lognormal_costs(g, sigma=float(p.get("sigma", 0.8)), rng=rng),
+    "fluctuation": lambda g, rng, **p: fluctuation_costs(g, float(p.get("phi", 100.0)), rng=rng),
+    "hotspot": lambda g, rng, **p: _hotspot_costs(g),
+    # keep whatever costs the family generator installed (climate's coupling
+    # costs; unit costs for the plain generators)
+    "native": None,
+}
+
+
+def _hotspot_costs(g: Graph) -> np.ndarray:
+    """Cost hot-spot near one corner (the E6 boundary-heterogeneous regime)."""
+    if g.coords is None:
+        raise ValueError("hotspot costs need vertex coordinates")
+    mid = (g.coords[g.edges[:, 0]] + g.coords[g.edges[:, 1]]) / 2.0
+    center = np.full(mid.shape[1], 4.0)
+    d = np.linalg.norm(mid - center, axis=1)
+    return 1.0 + 60.0 * np.exp(-((d / 4.0) ** 2))
+
+
+def build_instance(scenario: Scenario) -> Instance:
+    """Generate the instance for ``scenario`` (no caching)."""
+    if scenario.family not in FAMILIES:
+        raise KeyError(f"unknown graph family {scenario.family!r} (have {sorted(FAMILIES)})")
+    if scenario.weights not in WEIGHT_DISTS:
+        raise KeyError(f"unknown weight distribution {scenario.weights!r}")
+    if scenario.costs not in COST_DISTS:
+        raise KeyError(f"unknown cost distribution {scenario.costs!r}")
+    params = scenario.param_dict
+    rng = np.random.default_rng(scenario.instance_seed())
+    built = FAMILIES[scenario.family](scenario.size, rng, **params)
+    if isinstance(built, tuple):  # family ships its own weights (climate)
+        g, w = built
+    else:
+        g, w = built, None
+    if scenario.costs != "native":
+        g = g.with_costs(COST_DISTS[scenario.costs](g, rng, **params))
+    if w is None:
+        w = WEIGHT_DISTS[scenario.weights](g, rng, **params)
+    return Instance(g, np.asarray(w, dtype=np.float64))
+
+
+@dataclass
+class InstanceCache:
+    """Two-level (memory, optional disk) cache keyed by instance content hash."""
+
+    directory: pathlib.Path | None = None
+    hits: int = 0
+    misses: int = 0
+    _memory: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.directory is not None:
+            self.directory = pathlib.Path(self.directory)
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    def get(self, scenario: Scenario) -> Instance:
+        key = scenario.instance_hash()
+        inst = self._memory.get(key)
+        if inst is not None:
+            self.hits += 1
+            return inst
+        if self.directory is not None:
+            path = self.directory / f"{key}.npz"
+            if path.exists():
+                try:
+                    g, w = load_npz(path)
+                except Exception:
+                    # another worker may be mid-write, or the file is
+                    # corrupt — fall through and rebuild from the spec
+                    pass
+                else:
+                    inst = Instance(g, w)
+                    self._memory[key] = inst
+                    self.hits += 1
+                    return inst
+        self.misses += 1
+        inst = build_instance(scenario)
+        self._memory[key] = inst
+        if self.directory is not None:
+            # write-then-rename so concurrent readers never see a partial file
+            tmp = self.directory / f".{key}.{os.getpid()}.tmp.npz"
+            save_npz(tmp, inst.graph, weights=inst.weights)
+            os.replace(tmp, self.directory / f"{key}.npz")
+        return inst
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._memory)}

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..graphs.components import bfs_levels, connected_components, pseudo_peripheral_vertex
+from ..graphs.components import bfs_levels, connected_components
 from ..graphs.graph import Graph
 from .orders import fiedler_order, prefix_split, sweep_split
 

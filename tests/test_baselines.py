@@ -1,7 +1,6 @@
 """Tests for the baseline partitioners (§1 Previous Work)."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import (
     greedy_list_scheduling,

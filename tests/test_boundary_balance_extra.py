@@ -7,7 +7,6 @@ the Move machinery and the dynamic monochromatic measure Φ^(r+1).
 """
 
 import numpy as np
-import pytest
 
 from repro.core import (
     Coloring,

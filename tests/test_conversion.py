@@ -1,7 +1,6 @@
 """Tests for Lemma 37: separators ↔ splitting sets."""
 
 import numpy as np
-import pytest
 
 from repro.graphs import (
     disjoint_union,

@@ -21,7 +21,6 @@ from repro.graphs import (
     random_regular_graph,
     star_graph,
     triangulated_mesh,
-    uniform_costs,
     unit_weights,
     zipf_weights,
 )

@@ -9,7 +9,7 @@ from repro.core import (
     splitting_cost,
     splitting_cost_measure,
 )
-from repro.graphs import from_edges, grid_graph, unit_costs
+from repro.graphs import from_edges, grid_graph
 
 
 class TestSplittingCostMeasure:

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import (
     Coloring,
-    DecompositionParams,
     multi_balanced_bicolor,
     multi_balanced_coloring,
     rebalance,

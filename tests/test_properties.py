@@ -11,7 +11,6 @@ Randomized graphs, weights, and costs; the invariants here are the paper's
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

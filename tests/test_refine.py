@@ -1,7 +1,6 @@
 """Tests for the window-preserving k-way FM refinement."""
 
 import numpy as np
-import pytest
 
 from repro.core import Coloring, kway_refine, pairwise_refine
 from repro.graphs import grid_graph, triangulated_mesh, unit_weights
@@ -63,7 +62,7 @@ class TestPairwiseRefine:
         w = unit_weights(g)
         labels = (g.coords[:, 1] >= 4).astype(np.int64)
         lo, hi = 30.0, 34.0
-        changed = pairwise_refine(g, labels, w, 0, 1, lo, hi)
+        pairwise_refine(g, labels, w, 0, 1, lo, hi)
         cw = np.bincount(labels, weights=w, minlength=2)
         assert np.all(cw >= lo - 1e-9)
         assert np.all(cw <= hi + 1e-9)

@@ -12,7 +12,7 @@ from repro.core import (
     shrink,
     splitting_cost_measure,
 )
-from repro.graphs import grid_graph, triangulated_mesh, unit_weights
+from repro.graphs import grid_graph, unit_weights
 from repro.separators import BestOfOracle, BfsOracle
 
 

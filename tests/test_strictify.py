@@ -1,7 +1,6 @@
 """Direct tests for Proposition 11 (shrink-and-conquer balance improvement)."""
 
 import numpy as np
-import pytest
 
 from repro.core import Coloring, DecompositionParams, improve_balance
 from repro.graphs import grid_graph, triangulated_mesh, unit_weights
@@ -40,7 +39,7 @@ class TestImproveBalance:
         # two quadrants into class 0 to create imbalance)
         labels = (g.coords[:, 0] >= 8).astype(np.int64) * 2 + (g.coords[:, 1] >= 8).astype(np.int64)
         labels[labels == 1] = 0
-        chi = Coloring(labels, 4)
+        chi = Coloring(labels, k)
         before = chi.max_boundary(g)
         out = improve_balance(g, chi, w, FAST)
         assert out.is_almost_strictly_balanced(w)

@@ -13,7 +13,7 @@ from repro.graphs import (
     torus_graph,
     unit_costs,
 )
-from repro.graphs.validation import WellBehavedness, assess
+from repro.graphs.validation import assess
 from repro.separators import BestOfOracle, BfsOracle
 
 FAST = BestOfOracle([BfsOracle()])
