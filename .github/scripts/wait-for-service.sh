@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Block until the decomposition service answers a ping on $1 (port), or die.
+set -euo pipefail
+port="${1:?usage: wait-for-service.sh PORT [HOST]}"
+host="${2:-127.0.0.1}"
+for _ in $(seq 1 60); do
+  if PYTHONPATH=src python - "$host" "$port" <<'EOF'
+import asyncio, sys
+from repro.service import ServiceClient
+
+async def ping(host, port):
+    client = await ServiceClient.connect(host, int(port))
+    try:
+        assert (await client.ping())["ok"]
+    finally:
+        await client.close()
+
+try:
+    asyncio.run(ping(sys.argv[1], sys.argv[2]))
+except OSError:
+    raise SystemExit(1)
+EOF
+  then
+    exit 0
+  fi
+  sleep 0.5
+done
+echo "service on $host:$port never became ready" >&2
+exit 1

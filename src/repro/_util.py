@@ -6,11 +6,13 @@ substrate modules can import it without cycles.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable
 
 import numpy as np
 
 __all__ = [
+    "BoundedLru",
     "as_rng",
     "pnorm",
     "conjugate_exponent",
@@ -21,6 +23,48 @@ __all__ = [
     "safe_max",
     "cumulative_prefix_target",
 ]
+
+
+class BoundedLru:
+    """Recency-ordered bounded mapping — the one LRU primitive in the repo.
+
+    ``maxsize=None`` is unbounded, ``0`` stores nothing; ``get`` refreshes
+    recency, ``put`` evicts the least-recently-touched entries past the
+    bound and counts them in ``evictions``.  Both the sweep engine's
+    :class:`~repro.runtime.InstanceCache` and the service's
+    :class:`~repro.service.ColoringCache` delegate here, so their eviction
+    mechanics cannot drift apart.
+    """
+
+    def __init__(self, maxsize: int | None = None):
+        if maxsize is not None and maxsize < 0:
+            raise ValueError("maxsize must be >= 0 (or None for unbounded)")
+        self.maxsize = maxsize
+        self.evictions = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key):
+        """Return the value for ``key`` (refreshing recency) or ``None``."""
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        if self.maxsize == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if self.maxsize is not None:
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
 
 def as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:

@@ -7,17 +7,22 @@ Usage::
     python -m repro demo --side 24 -k 8
     python -m repro sweep --family grid mesh --size 16 --k 2 8 \
         --workers 4 -o sweep.json
+    python -m repro serve --port 8642 --shards 4
+    python -m repro loadgen --port 8642 --preset smoke --connections 16
 
 ``partition`` writes one class id per line (vertex order).  ``evaluate``
 prints the metric panel for an existing labeling.  ``demo`` runs the
 pipeline on a generated grid and prints the audit table.  ``sweep`` expands
 a scenario grid, fans it across worker processes, and writes deterministic
-JSON results (see :mod:`repro.runtime`).
+JSON results (see :mod:`repro.runtime`).  ``serve`` runs the batched
+decomposition service and ``loadgen`` replays a scenario grid against it as
+concurrent requests (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 
@@ -71,18 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("-k", type=int, default=8)
 
     sw = sub.add_parser("sweep", help="run a scenario-grid sweep and emit JSON results")
-    sw.add_argument("--preset", choices=["smoke", "quality", "scaling"],
-                    help="start from a predefined grid (axis flags override it)")
-    sw.add_argument("--family", nargs="+", help="graph families (grid, mesh, torus, ...)")
-    sw.add_argument("--size", nargs="+", type=int, help="family size parameters")
-    sw.add_argument("--k", nargs="+", type=int, help="class counts")
-    sw.add_argument("--algorithm", nargs="+",
-                    help="algorithms (minmax, greedy, recursive-bisection, kst, multilevel)")
-    sw.add_argument("--weights", nargs="+", help="weight distributions (unit, zipf, ...)")
-    sw.add_argument("--costs", nargs="+", help="cost distributions (unit, lognormal, ...)")
-    sw.add_argument("--seed", nargs="+", type=int, help="instance seeds")
-    sw.add_argument("--param", action="append", default=[], metavar="NAME=VALUE",
-                    help="extra scenario parameter (repeatable), e.g. --param eps=0.3")
+    _add_grid_arguments(sw)
     sw.add_argument("--workers", type=int, default=1, help="worker processes (1 = inline)")
     sw.add_argument("-o", "--output", help="write results JSON here")
     sw.add_argument("--timing", action="store_true",
@@ -92,7 +86,58 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--baseline", help="baseline results JSON to gate against")
     sw.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed relative regression vs the baseline (default 0.20)")
+
+    sv = sub.add_parser("serve", help="run the batched decomposition service")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8642, help="TCP port (0 = ephemeral)")
+    sv.add_argument("--shards", type=int, default=2,
+                    help="persistent worker processes (0 = inline thread, debug)")
+    sv.add_argument("--cache-size", type=int, default=1024,
+                    help="max entries in the LRU coloring cache")
+    sv.add_argument("--max-batch-size", type=int, default=32,
+                    help="flush a micro-batch at this many requests")
+    sv.add_argument("--max-wait-ms", type=float, default=2.0,
+                    help="flush a micro-batch after this many milliseconds")
+    sv.add_argument("--cache-dir", help="on-disk instance cache for the shards")
+    sv.add_argument("--npz-root", help="directory npz-ref requests may read from "
+                    "(npz refs are rejected unless this is set)")
+
+    lg = sub.add_parser("loadgen",
+                        help="replay a scenario grid against a running service")
+    _add_grid_arguments(lg)
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, default=8642)
+    lg.add_argument("--connections", type=int, default=8, help="concurrent connections")
+    lg.add_argument("--passes", type=int, default=2,
+                    help="grid replays (pass 1 cold, later passes warm)")
+    lg.add_argument("-o", "--output", default="benchmarks/out/serve_report.json",
+                    help="throughput/latency report JSON (volatile)")
+    lg.add_argument("--bodies", help="write the deterministic scenario_id -> "
+                    "canonical response body map here (for byte-identity diffs)")
+    lg.add_argument("--check-sweep", action="store_true",
+                    help="run the same grid through the sweep engine inline and "
+                    "fail unless every response body is byte-identical")
+    lg.add_argument("--shutdown", action="store_true",
+                    help="send a shutdown op to the server when done")
+    lg.add_argument("--min-rps", type=float,
+                    help="fail unless the best pass sustains this many req/s")
     return parser
+
+
+def _add_grid_arguments(sub) -> None:
+    """Scenario-grid axis flags shared by ``sweep`` and ``loadgen``."""
+    sub.add_argument("--preset", choices=["smoke", "quality", "scaling"],
+                     help="start from a predefined grid (axis flags override it)")
+    sub.add_argument("--family", nargs="+", help="graph families (grid, mesh, torus, ...)")
+    sub.add_argument("--size", nargs="+", type=int, help="family size parameters")
+    sub.add_argument("--k", nargs="+", type=int, help="class counts")
+    sub.add_argument("--algorithm", nargs="+",
+                     help="algorithms (minmax, greedy, recursive-bisection, kst, multilevel)")
+    sub.add_argument("--weights", nargs="+", help="weight distributions (unit, zipf, ...)")
+    sub.add_argument("--costs", nargs="+", help="cost distributions (unit, lognormal, ...)")
+    sub.add_argument("--seed", nargs="+", type=int, help="instance seeds")
+    sub.add_argument("--param", action="append", default=[], metavar="NAME=VALUE",
+                     help="extra scenario parameter (repeatable), e.g. --param eps=0.3")
 
 
 #: predefined grids; ``smoke`` is the CI bench-smoke grid and must stay small.
@@ -129,19 +174,9 @@ def _parse_param(text: str):
     return name, value
 
 
-def _run_sweep(args) -> int:
-    from .runtime import (
-        ALGORITHMS,
-        COST_DISTS,
-        FAMILIES,
-        WEIGHT_DISTS,
-        ScenarioGrid,
-        compare_to_baseline,
-        read_results,
-        results_table,
-        run_sweep,
-        write_results,
-    )
+def _grid_from_args(args, command: str):
+    """Expand the shared axis flags into a validated ``(grid, scenarios)``."""
+    from .runtime import ALGORITHMS, COST_DISTS, FAMILIES, WEIGHT_DISTS, ScenarioGrid
 
     axes = dict(SWEEP_PRESETS[args.preset]) if args.preset else {}
     for name in ("family", "size", "k", "algorithm", "weights", "costs", "seed"):
@@ -149,7 +184,7 @@ def _run_sweep(args) -> int:
         if value is not None:
             axes[name] = value
     if not axes:
-        raise SystemExit("sweep needs a --preset or at least one axis flag")
+        raise SystemExit(f"{command} needs a --preset or at least one axis flag")
     if args.param:
         axes["params"] = [dict(_parse_param(p) for p in args.param)]
     grid = ScenarioGrid(**axes)
@@ -161,13 +196,26 @@ def _run_sweep(args) -> int:
         unknown = [v for v in getattr(grid, axis) if v not in registry]
         if unknown:
             raise SystemExit(
-                f"sweep: unknown {axis} {', '.join(map(repr, unknown))} "
+                f"{command}: unknown {axis} {', '.join(map(repr, unknown))} "
                 f"(have {', '.join(sorted(registry))})"
             )
     try:
-        total = len(grid.scenarios())
+        return grid, grid.scenarios()
     except ValueError as exc:
-        raise SystemExit(f"sweep: {exc}") from exc
+        raise SystemExit(f"{command}: {exc}") from exc
+
+
+def _run_sweep(args) -> int:
+    from .runtime import (
+        compare_to_baseline,
+        read_results,
+        results_table,
+        run_sweep,
+        write_results,
+    )
+
+    grid, scenarios = _grid_from_args(args, "sweep")
+    total = len(scenarios)
     print(f"sweep: {total} scenarios, {args.workers} worker(s)", file=sys.stderr)
 
     def _progress(done, total, result):
@@ -179,7 +227,8 @@ def _run_sweep(args) -> int:
             file=sys.stderr,
         )
 
-    results = run_sweep(grid, workers=args.workers, cache_dir=args.cache_dir, progress=_progress)
+    results = run_sweep(scenarios, workers=args.workers, cache_dir=args.cache_dir,
+                        progress=_progress)
     if args.output:
         write_results(args.output, results, grid=grid, timing=args.timing)
         print(f"wrote {args.output}", file=sys.stderr)
@@ -191,6 +240,99 @@ def _run_sweep(args) -> int:
         if not report.ok:
             return 1
     return 0
+
+
+def _run_serve(args) -> int:
+    import asyncio
+
+    from .service import DecompositionService, serve
+
+    service = DecompositionService(
+        shards=args.shards,
+        cache_size=args.cache_size,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        cache_dir=args.cache_dir,
+        npz_root=args.npz_root,
+    )
+
+    def _ready(host, port):
+        print(f"serve: listening on {host}:{port} "
+              f"(shards={args.shards}, cache={args.cache_size}, "
+              f"batch={args.max_batch_size}/{args.max_wait_ms}ms)",
+              file=sys.stderr, flush=True)
+
+    try:
+        asyncio.run(serve(service, host=args.host, port=args.port, ready=_ready))
+    except KeyboardInterrupt:
+        print("serve: interrupted", file=sys.stderr)
+    return 0
+
+
+def _run_loadgen(args) -> int:
+    import asyncio
+    import json as _json
+
+    from .runtime import run_sweep
+    from .service import canonical_record, run_loadgen
+
+    grid, scenarios = _grid_from_args(args, "loadgen")
+    specs = [s.spec() for s in scenarios]
+    print(f"loadgen: {len(specs)} scenarios x {args.passes} pass(es), "
+          f"{args.connections} connection(s) -> {args.host}:{args.port}", file=sys.stderr)
+    out = asyncio.run(
+        run_loadgen(
+            args.host, args.port, specs,
+            connections=args.connections, passes=args.passes, shutdown=args.shutdown,
+        )
+    )
+    report, bodies = out["report"], out["bodies"]
+    report["grid"] = grid.spec()
+    for p in report["passes"]:
+        lat = p["latency"]
+        print(f"  pass {p['pass']}: {p['requests']} requests in {p['wall_s']}s "
+              f"= {p['throughput_rps']} req/s "
+              f"(p50 {lat.get('p50_ms')}ms, p99 {lat.get('p99_ms')}ms)", file=sys.stderr)
+    if args.output:
+        out_path = pathlib.Path(args.output)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(_json.dumps(report, sort_keys=True, indent=2) + "\n")
+        print(f"wrote {out_path}", file=sys.stderr)
+    if args.bodies:
+        bodies_path = pathlib.Path(args.bodies)
+        bodies_path.parent.mkdir(parents=True, exist_ok=True)
+        bodies_path.write_text(_json.dumps(bodies, sort_keys=True, indent=2) + "\n")
+        print(f"wrote {bodies_path}", file=sys.stderr)
+    status = 0
+    if report["errors"]:
+        print(f"loadgen: {len(report['errors'])} request(s) failed, e.g. "
+              f"{report['errors'][0]['error']}", file=sys.stderr)
+        status = 1
+    if args.check_sweep and status != 0:
+        print("loadgen: skipping --check-sweep (requests already failed)", file=sys.stderr)
+    elif args.check_sweep:
+        workers = 1 if len(scenarios) < 16 else min(4, os.cpu_count() or 1)
+        reference = run_sweep(scenarios, workers=workers)
+        expected = {r.scenario_id: canonical_record(r.record()) for r in reference}
+        mismatched = [sid for sid, body in expected.items() if bodies.get(sid) != body]
+        if mismatched or set(bodies) != set(expected):
+            print(f"loadgen: responses NOT byte-identical to sweep records "
+                  f"({len(mismatched)} mismatched, "
+                  f"{len(set(bodies) ^ set(expected))} missing)", file=sys.stderr)
+            status = 1
+        else:
+            print(f"loadgen: all {len(expected)} response bodies byte-identical "
+                  f"to sweep records", file=sys.stderr)
+    if args.min_rps is not None:
+        best = max((p["throughput_rps"] for p in report["passes"]), default=0.0)
+        if best < args.min_rps:
+            print(f"loadgen: best pass {best} req/s < required {args.min_rps}",
+                  file=sys.stderr)
+            status = 1
+        else:
+            print(f"loadgen: throughput gate ok ({best} >= {args.min_rps} req/s)",
+                  file=sys.stderr)
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -243,6 +385,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "loadgen":
+        return _run_loadgen(args)
     return 2  # pragma: no cover
 
 

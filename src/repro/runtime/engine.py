@@ -26,19 +26,38 @@ from .instances import Instance, InstanceCache
 from .results import ScenarioResult
 from .scenario import Scenario, ScenarioGrid
 
-__all__ = ["run_scenario", "run_sweep"]
+__all__ = ["run_scenario", "run_sweep", "worker_init", "worker_run", "worker_run_record"]
 
-# per-worker-process cache, installed by _worker_init
+# per-worker-process cache, installed by worker_init
 _WORKER_CACHE: InstanceCache | None = None
 
 
-def _worker_init(cache_dir):
+def worker_init(cache_dir=None, max_entries=None):
+    """Install the per-process :class:`InstanceCache`.
+
+    Used as the ``ProcessPoolExecutor`` initializer by both the sweep engine
+    and the service shards (:mod:`repro.service.shards`), so every persistent
+    worker process reuses instances across the scenarios it is handed.
+    Sweeps are finite and leave the cache unbounded; long-lived shards pass
+    ``max_entries`` so worker memory stays bounded under diverse traffic.
+    """
     global _WORKER_CACHE
-    _WORKER_CACHE = InstanceCache(directory=cache_dir)
+    _WORKER_CACHE = InstanceCache(directory=cache_dir, max_entries=max_entries)
 
 
-def _worker_run(scenario: Scenario) -> ScenarioResult:
+def worker_run(scenario: Scenario) -> ScenarioResult:
+    """Run one scenario against the per-process cache (full result object)."""
     return run_scenario(scenario, cache=_WORKER_CACHE)
+
+
+def worker_run_record(scenario: Scenario) -> dict:
+    """Run one scenario and return its deterministic JSON record.
+
+    This is the unit of work the service shards execute: the returned dict is
+    exactly one element of a ``repro sweep`` results file's ``results`` list,
+    which is what makes service responses byte-identical to sweep output.
+    """
+    return worker_run(scenario).record()
 
 
 def _instance_stats(inst: Instance) -> dict:
@@ -116,9 +135,9 @@ def run_sweep(
         os.environ.setdefault(var, "1")
     chunksize = max(1, total // (workers * 4))
     with ProcessPoolExecutor(
-        max_workers=workers, initializer=_worker_init, initargs=(cache_dir,)
+        max_workers=workers, initializer=worker_init, initargs=(cache_dir,)
     ) as pool:
-        for i, r in enumerate(pool.map(_worker_run, scenarios, chunksize=chunksize)):
+        for i, r in enumerate(pool.map(worker_run, scenarios, chunksize=chunksize)):
             results.append(r)
             if progress is not None:
                 progress(i + 1, total, r)

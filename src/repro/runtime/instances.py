@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._util import BoundedLru
 from ..apps import climate_workload
 from ..graphs import (
     Graph,
@@ -69,6 +70,22 @@ def _climate(size, rng, **params):
     return wl.graph, wl.weights
 
 
+def _npz(size, rng, **params):
+    """Load a pre-built instance from a ``save_npz`` archive (``size`` unused).
+
+    The instance hash covers the *path string*, not the file content — callers
+    that mutate an archive in place must change its name to invalidate caches.
+    Like every family, the scenario's cost distribution still applies: pass
+    ``costs="native"`` to keep the archive's edge costs (the default ``unit``
+    overwrites them).  Archived vertex weights, when present, always win.
+    """
+    path = params.get("path")
+    if not path:
+        raise KeyError("npz family needs a 'path' param pointing at a .npz archive")
+    g, w = load_npz(path)
+    return (g, w) if w is not None else g
+
+
 FAMILIES = {
     "grid": lambda size, rng, **p: grid_graph(size, size),
     "grid3d": lambda size, rng, **p: grid_graph(size, size, size),
@@ -80,6 +97,8 @@ FAMILIES = {
     ),
     # climate ships its own weights; the weight distribution is ignored for it
     "climate": _climate,
+    # pre-built instance referenced by file path (service "npz ref" requests)
+    "npz": _npz,
 }
 
 WEIGHT_DISTS = {
@@ -142,17 +161,26 @@ def build_instance(scenario: Scenario) -> Instance:
 
 @dataclass
 class InstanceCache:
-    """Two-level (memory, optional disk) cache keyed by instance content hash."""
+    """Two-level (memory, optional disk) cache keyed by instance content hash.
+
+    ``max_entries`` bounds the in-memory level with LRU eviction; ``None``
+    (the default, what finite sweeps use) keeps everything.  Long-lived
+    holders — the service shards — must pass a bound, or diverse traffic
+    grows a worker process without limit.
+    """
 
     directory: pathlib.Path | None = None
+    max_entries: int | None = None
     hits: int = 0
     misses: int = 0
-    _memory: dict = field(default_factory=dict)
+    _memory: BoundedLru = field(default=None)
 
     def __post_init__(self):
         if self.directory is not None:
             self.directory = pathlib.Path(self.directory)
             self.directory.mkdir(parents=True, exist_ok=True)
+        if self._memory is None:
+            self._memory = BoundedLru(maxsize=self.max_entries)
 
     def get(self, scenario: Scenario) -> Instance:
         key = scenario.instance_hash()
@@ -171,12 +199,12 @@ class InstanceCache:
                     pass
                 else:
                     inst = Instance(g, w)
-                    self._memory[key] = inst
+                    self._memory.put(key, inst)
                     self.hits += 1
                     return inst
         self.misses += 1
         inst = build_instance(scenario)
-        self._memory[key] = inst
+        self._memory.put(key, inst)
         if self.directory is not None:
             # write-then-rename so concurrent readers never see a partial file
             tmp = self.directory / f".{key}.{os.getpid()}.tmp.npz"
@@ -184,5 +212,14 @@ class InstanceCache:
             os.replace(tmp, self.directory / f"{key}.npz")
         return inst
 
+    @property
+    def evictions(self) -> int:
+        return self._memory.evictions
+
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._memory)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._memory),
+            "evictions": self.evictions,
+        }

@@ -111,7 +111,8 @@ class Scenario:
 
 #: params that feed instance generation rather than the algorithm.
 INSTANCE_PARAM_NAMES = frozenset(
-    {"phi", "sigma", "alpha", "heavy", "ratio", "heavy_fraction", "scale", "low", "high", "degree"}
+    {"phi", "sigma", "alpha", "heavy", "ratio", "heavy_fraction", "scale", "low", "high",
+     "degree", "path"}
 )
 
 

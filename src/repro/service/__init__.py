@@ -1,0 +1,52 @@
+"""Batched decomposition service.
+
+An asyncio front-end (:mod:`.server`) accepts decomposition requests over a
+JSON-lines TCP protocol (:mod:`.protocol`), coalesces them in a micro-batcher
+(:mod:`.batcher`), answers repeats from a bounded LRU record cache
+(:mod:`.cache`), and fans misses across persistent process shards routed by
+instance content hash (:mod:`.shards`).  Responses reuse the sweep engine's
+scenario/record machinery, so a service answer is byte-identical to the
+``repro sweep`` record for the same scenario.
+
+Quick use::
+
+    PYTHONPATH=src python -m repro serve --port 8642 --shards 4
+    PYTHONPATH=src python -m repro loadgen --port 8642 --preset smoke \
+        --connections 16 -o benchmarks/out/serve_smoke.json
+
+:mod:`.loadgen` is the matching client/load generator.
+"""
+
+from .batcher import MicroBatcher
+from .cache import ColoringCache
+from .loadgen import ServiceClient, latency_summary, run_loadgen
+from .protocol import (
+    CONTROL_OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    canonical_record,
+    encode,
+    parse_request,
+    scenario_from_spec,
+)
+from .server import DecompositionService, ServiceError, serve
+from .shards import ShardPool
+
+__all__ = [
+    "CONTROL_OPS",
+    "PROTOCOL_VERSION",
+    "ColoringCache",
+    "DecompositionService",
+    "MicroBatcher",
+    "ProtocolError",
+    "ServiceClient",
+    "ServiceError",
+    "ShardPool",
+    "canonical_record",
+    "encode",
+    "latency_summary",
+    "parse_request",
+    "run_loadgen",
+    "scenario_from_spec",
+    "serve",
+]

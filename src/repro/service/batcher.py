@@ -1,0 +1,94 @@
+"""Micro-batching for the request path.
+
+Incoming requests are appended to a pending list; the list is flushed to the
+dispatch callback when it reaches ``max_batch_size`` (size flush) or when the
+oldest pending request has waited ``max_wait_ms`` (timeout flush), whichever
+comes first.  Batching amortizes executor round-trips: a shard receives one
+pickled list of scenarios per flush instead of one IPC hop per request.
+
+The batcher is event-loop-only (no locks — ``add`` must be called from the
+loop thread) and never reorders: flush batches preserve arrival order, and
+the dispatch callback receives each batch exactly once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["MicroBatcher"]
+
+
+class MicroBatcher:
+    """Collect items and flush them in arrival-ordered batches.
+
+    ``flush_fn`` is an async callable receiving one batch (a list); it runs
+    as its own task so a slow batch never blocks the accumulation of the
+    next one.
+    """
+
+    def __init__(self, flush_fn, max_batch_size: int = 32, max_wait_ms: float = 2.0):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self._flush_fn = flush_fn
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self._pending: list = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self.batches = 0
+        self.items = 0
+        self.size_flushes = 0
+        self.timeout_flushes = 0
+        self.drain_flushes = 0
+        self.max_batch_seen = 0
+
+    def add(self, item) -> None:
+        """Enqueue one item; may flush synchronously on the size trigger."""
+        self._pending.append(item)
+        if len(self._pending) >= self.max_batch_size:
+            self._flush("size")
+        elif self._timer is None:
+            loop = asyncio.get_running_loop()
+            self._timer = loop.call_later(self.max_wait_ms / 1000.0, self._flush, "timeout")
+
+    def _flush(self, reason: str) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        self.batches += 1
+        self.items += len(batch)
+        self.max_batch_seen = max(self.max_batch_seen, len(batch))
+        if reason == "size":
+            self.size_flushes += 1
+        elif reason == "timeout":
+            self.timeout_flushes += 1
+        else:
+            self.drain_flushes += 1
+        task = asyncio.get_running_loop().create_task(self._flush_fn(batch))
+        # keep a strong reference until done, else the loop may GC the task
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def drain(self) -> None:
+        """Flush whatever is pending and wait for all in-flight batches."""
+        self._flush("drain")
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    def stats(self) -> dict:
+        return {
+            "max_batch_size": self.max_batch_size,
+            "max_wait_ms": self.max_wait_ms,
+            "batches": self.batches,
+            "items": self.items,
+            "size_flushes": self.size_flushes,
+            "timeout_flushes": self.timeout_flushes,
+            "drain_flushes": self.drain_flushes,
+            "max_batch_seen": self.max_batch_seen,
+            "pending": len(self._pending),
+        }

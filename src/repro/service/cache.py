@@ -1,0 +1,62 @@
+"""Bounded LRU cache for finished decomposition records.
+
+Keyed by the full ``scenario_id`` content hash (family, size, distributions,
+seed, ``k``, algorithm, params — see :meth:`Scenario.scenario_id`), so a hit
+is only ever an *exact* repeat of a previous request.  Values are the
+deterministic result records; serving from the cache therefore returns the
+same bytes recomputation would.
+
+This is the layer that makes warm traffic cheap: the shards' per-process
+:class:`~repro.runtime.InstanceCache` only skips instance *generation*,
+while this cache skips the decomposition itself.  Storage and eviction
+delegate to the repo's one LRU primitive, :class:`repro._util.BoundedLru`.
+"""
+
+from __future__ import annotations
+
+from .._util import BoundedLru
+
+__all__ = ["ColoringCache"]
+
+
+class ColoringCache:
+    """LRU mapping ``scenario_id -> result record`` with a hard entry bound."""
+
+    def __init__(self, maxsize: int = 1024):
+        self.hits = 0
+        self.misses = 0
+        self._entries = BoundedLru(maxsize=int(maxsize))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def maxsize(self) -> int:
+        return self._entries.maxsize
+
+    @property
+    def evictions(self) -> int:
+        return self._entries.evictions
+
+    def get(self, key: str) -> dict | None:
+        record = self._entries.get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        self._entries.put(key, record)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

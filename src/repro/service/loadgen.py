@@ -1,0 +1,162 @@
+"""Load generator and line-protocol client for the decomposition service.
+
+``run_loadgen`` replays a scenario list as concurrent requests over N
+connections for P passes (pass 1 is the cold-cache pass; later passes
+measure the warm path), collects per-request latencies client-side, and
+returns a throughput/latency report plus the canonical response bodies.
+
+The bodies map (``scenario_id -> canonical record JSON``) is fully
+deterministic — it is what CI compares across ``--shards 1`` and
+``--shards 4`` servers — while the report carries the volatile numbers
+(req/s, percentiles) and belongs in ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+
+from .protocol import ProtocolError, canonical_record, encode
+
+__all__ = ["ServiceClient", "run_loadgen", "latency_summary"]
+
+
+class ServiceClient:
+    """One connection speaking the JSON-lines protocol, request/response."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port, limit=2**20)
+        return cls(reader, writer)
+
+    async def call(self, message: dict) -> dict:
+        """Send one request and await its response (sequential per client)."""
+        self._next_id += 1
+        rid = self._next_id
+        self._writer.write(encode({"id": rid, **message}))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        resp = json.loads(line)
+        if resp.get("id") != rid:
+            raise ProtocolError(f"response id {resp.get('id')!r} != request id {rid}")
+        return resp
+
+    async def decompose(self, spec: dict) -> dict:
+        return await self.call({"scenario": spec})
+
+    async def ping(self) -> dict:
+        return await self.call({"op": "ping"})
+
+    async def stats(self) -> dict:
+        return await self.call({"op": "stats"})
+
+    async def shutdown(self) -> dict:
+        return await self.call({"op": "shutdown"})
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def latency_summary(latencies_s: list[float]) -> dict:
+    """Percentile summary of a latency sample, in milliseconds."""
+    if not latencies_s:
+        return {"count": 0}
+    ordered = sorted(latencies_s)
+
+    def pct(q: float) -> float:
+        # nearest-rank: smallest value with at least q of the sample below it
+        idx = max(0, math.ceil(q * len(ordered)) - 1)
+        return round(ordered[idx] * 1000.0, 3)
+
+    return {
+        "count": len(ordered),
+        "mean_ms": round(sum(ordered) / len(ordered) * 1000.0, 3),
+        "p50_ms": pct(0.50),
+        "p95_ms": pct(0.95),
+        "p99_ms": pct(0.99),
+        "max_ms": round(ordered[-1] * 1000.0, 3),
+    }
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    specs: list[dict],
+    connections: int = 8,
+    passes: int = 2,
+    shutdown: bool = False,
+) -> dict:
+    """Fire ``specs`` at the server ``passes`` times over ``connections``.
+
+    Returns ``{"report": ..., "bodies": ...}``: the volatile throughput and
+    latency report, and the deterministic ``scenario_id -> canonical body``
+    map accumulated across all passes (a body mismatch between passes —
+    cached vs computed — raises, so the loadgen doubles as a cache-coherence
+    check).
+    """
+    connections = max(1, min(int(connections), len(specs) or 1))
+    clients = await asyncio.gather(
+        *(ServiceClient.connect(host, port) for _ in range(connections))
+    )
+    bodies: dict[str, str] = {}
+    errors: list[dict] = []
+    pass_reports = []
+    try:
+        for pass_no in range(1, int(passes) + 1):
+            next_spec = iter(enumerate(specs))
+            latencies: list[float] = []
+
+            async def worker(client):
+                for _, spec in next_spec:
+                    t0 = time.perf_counter()
+                    resp = await client.decompose(spec)
+                    latencies.append(time.perf_counter() - t0)
+                    if not resp.get("ok"):
+                        errors.append({"spec": spec, "error": resp.get("error")})
+                        continue
+                    record = resp["record"]
+                    sid = record["scenario_id"]
+                    body = canonical_record(record)
+                    if bodies.setdefault(sid, body) != body:
+                        raise AssertionError(
+                            f"response body for {sid} changed between passes"
+                        )
+
+            t0 = time.perf_counter()
+            await asyncio.gather(*(worker(c) for c in clients))
+            wall = time.perf_counter() - t0
+            pass_reports.append(
+                {
+                    "pass": pass_no,
+                    "requests": len(latencies),
+                    "wall_s": round(wall, 4),
+                    "throughput_rps": round(len(latencies) / wall, 1) if wall > 0 else 0.0,
+                    "latency": latency_summary(latencies),
+                }
+            )
+        server_stats = await clients[0].stats()
+        if shutdown:
+            await clients[0].shutdown()
+    finally:
+        await asyncio.gather(*(c.close() for c in clients), return_exceptions=True)
+    report = {
+        "connections": connections,
+        "passes": pass_reports,
+        "unique_scenarios": len(bodies),
+        "errors": errors,
+        "server_stats": server_stats.get("stats", {}),
+    }
+    return {"report": report, "bodies": dict(sorted(bodies.items()))}

@@ -1,0 +1,157 @@
+"""Wire protocol for the decomposition service: JSON lines over a stream.
+
+One UTF-8 JSON object per ``\\n``-terminated line, both directions.  A
+*decomposition request* carries a scenario spec (the same shape as the
+``scenario`` block of a sweep record — graph family or npz ref, size,
+weights/costs distributions, ``k``, algorithm, seed, params)::
+
+    {"id": 7, "scenario": {"family": "grid", "size": 12, "k": 4,
+                           "algorithm": "minmax", "oracle": "bfs"}}
+
+and is answered by::
+
+    {"id": 7, "ok": true, "record": {...}}      # one sweep result record
+
+or ``{"id": 7, "ok": false, "error": "..."}``.  ``record`` is exactly one
+element of a ``repro sweep`` results file's ``results`` list; serialized
+through :func:`canonical_record` it is byte-identical to the sweep output
+for the same scenario, whatever the shard count or batching order.
+
+*Control requests* use ``op`` instead of ``scenario``: ``ping`` (liveness),
+``stats`` (cache/batcher/shard counters), ``shutdown`` (graceful stop).
+
+Responses deliberately contain **no** volatile fields (no shard id, no
+timing, no cache flag) so response bodies can be compared byte-for-byte
+across server configurations; operational visibility lives behind ``stats``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..runtime import ALGORITHMS, COST_DISTS, FAMILIES, WEIGHT_DISTS, Scenario
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "CONTROL_OPS",
+    "ProtocolError",
+    "scenario_from_spec",
+    "parse_request",
+    "encode",
+    "canonical_record",
+]
+
+PROTOCOL_VERSION = 1
+
+CONTROL_OPS = ("ping", "stats", "shutdown")
+
+#: scenario-spec keys accepted from the wire (``oracle`` is sugar that is
+#: folded into ``params`` so specs match what ``repro sweep`` records).
+_SPEC_KEYS = frozenset(
+    {"family", "size", "k", "algorithm", "weights", "costs", "seed", "params", "oracle"}
+)
+_REQUIRED_KEYS = ("family", "size", "k")
+
+
+class ProtocolError(ValueError):
+    """A malformed or unserviceable request; the message is sent back."""
+
+
+def _as_int(value, name: str) -> int:
+    """Strict integer coercion: 12 and 12.0 pass, 12.9 and True are errors.
+
+    Silent ``int()`` truncation would compute a *different* scenario than
+    the client asked for and answer it ok=true.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{name} must be an integer, got {value!r}")
+    if isinstance(value, float) and not value.is_integer():
+        raise ProtocolError(f"{name} must be an integer, got {value!r}")
+    return int(value)
+
+
+def scenario_from_spec(spec) -> Scenario:
+    """Validate a wire scenario spec and build the :class:`Scenario`.
+
+    Validation happens here — on the event loop, before a request can join a
+    batch — so one bad request is rejected alone instead of poisoning the
+    batch it would have been coalesced into.
+    """
+    if not isinstance(spec, dict):
+        raise ProtocolError("scenario must be an object")
+    unknown = set(spec) - _SPEC_KEYS
+    if unknown:
+        raise ProtocolError(f"unknown scenario keys: {', '.join(sorted(unknown))}")
+    missing = [key for key in _REQUIRED_KEYS if key not in spec]
+    if missing:
+        raise ProtocolError(f"scenario needs keys: {', '.join(missing)}")
+    raw_params = spec.get("params") or {}
+    if not isinstance(raw_params, dict):
+        raise ProtocolError("scenario params must be an object")
+    params = dict(raw_params)
+    if "oracle" in spec:
+        params["oracle"] = spec["oracle"]
+    try:
+        scenario = Scenario(
+            family=str(spec["family"]),
+            size=_as_int(spec["size"], "size"),
+            k=_as_int(spec["k"], "k"),
+            algorithm=str(spec.get("algorithm", "minmax")),
+            weights=str(spec.get("weights", "unit")),
+            costs=str(spec.get("costs", "unit")),
+            seed=_as_int(spec.get("seed", 0), "seed"),
+            params=tuple(sorted(params.items())),
+        )
+    except ProtocolError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad scenario field: {exc}") from exc
+    for axis, registry in (
+        ("family", FAMILIES),
+        ("weights", WEIGHT_DISTS),
+        ("costs", COST_DISTS),
+        ("algorithm", ALGORITHMS),
+    ):
+        value = getattr(scenario, axis)
+        if value not in registry:
+            raise ProtocolError(
+                f"unknown {axis} {value!r} (have {', '.join(sorted(registry))})"
+            )
+    return scenario
+
+
+def parse_request(line: bytes) -> dict:
+    """Decode one request line into ``{"id", "op"?, "scenario"?}``."""
+    try:
+        req = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(req, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = req.get("op")
+    if op is not None and op not in CONTROL_OPS:
+        raise ProtocolError(f"unknown op {op!r} (have {', '.join(CONTROL_OPS)})")
+    if op is None and "scenario" not in req:
+        raise ProtocolError("request needs a 'scenario' (or an 'op')")
+    return req
+
+
+def encode(obj: dict) -> bytes:
+    """Serialize one message canonically (sorted keys, compact separators).
+
+    Canonical encoding is what upgrades per-record determinism to
+    byte-identical response *lines*: two servers that compute the same record
+    send the same bytes.  Delegates to :func:`canonical_record` so there is
+    exactly one definition of "canonical" to drift.
+    """
+    return (canonical_record(obj) + "\n").encode()
+
+
+def canonical_record(record: dict) -> str:
+    """Canonical JSON text of one result record (the comparison currency).
+
+    ``repro loadgen --check-sweep`` and the CI shard-determinism gate compare
+    records from different sources (server responses, sweep files) through
+    this one function, so "byte-identical" is well defined.
+    """
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,255 @@
+"""The decomposition service: coalescing front-end + asyncio TCP server.
+
+Request path (all on the event loop)::
+
+    parse/validate ──> coloring-cache lookup ──> in-flight coalescing
+                                   │ miss               │ new
+                                   └──────> micro-batcher ──> shard pool
+
+* **Cache hit** — answered immediately from the LRU record cache.
+* **Coalesced** — an identical request is already computing; this one awaits
+  the same future, so N concurrent duplicates cost one decomposition.
+* **Miss** — joins the current micro-batch; the batch is split by instance
+  hash across the persistent shards and each sub-batch runs as one executor
+  call.
+
+Determinism: records are pure functions of their scenario, the cache stores
+exactly what the shards return, and responses carry no volatile fields — so
+response bodies are byte-identical across shard counts, batch boundaries,
+and hot/cold caches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+from collections import defaultdict
+
+from .batcher import MicroBatcher
+from .cache import ColoringCache
+from .protocol import PROTOCOL_VERSION, ProtocolError, encode, parse_request, scenario_from_spec
+from .shards import ShardPool
+
+__all__ = ["DecompositionService", "ServiceError", "serve"]
+
+
+class ServiceError(Exception):
+    """A request failed inside a shard; the message goes back on the wire."""
+
+
+class DecompositionService:
+    """Ties the cache, batcher, and shard pool together behind ``submit``."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        cache_size: int = 1024,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        cache_dir=None,
+        npz_root=None,
+    ):
+        self.cache = ColoringCache(maxsize=cache_size)
+        self.pool = ShardPool(shards=shards, cache_dir=cache_dir)
+        #: directory npz refs are confined to; None disables them entirely —
+        #: a remote peer must not get to open arbitrary server-side paths
+        self.npz_root = pathlib.Path(npz_root).resolve() if npz_root is not None else None
+        self.batcher = MicroBatcher(
+            self._run_batch, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms
+        )
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.requests = 0
+        self.coalesced = 0
+        self.errors = 0
+
+    def _authorize(self, scenario) -> None:
+        if scenario.family != "npz":
+            return
+        if self.npz_root is None:
+            raise ProtocolError("npz refs are disabled (start serve with --npz-root)")
+        path = pathlib.Path(str(scenario.param_dict.get("path", ""))).resolve()
+        if not path.is_relative_to(self.npz_root):
+            raise ProtocolError(f"npz path must live under {self.npz_root}")
+
+    async def submit(self, scenario) -> dict:
+        """Resolve one scenario to its result record (cache/coalesce/compute)."""
+        self._authorize(scenario)
+        self.requests += 1
+        key = scenario.scenario_id()
+        record = self.cache.get(key)
+        if record is not None:
+            return record
+        future = self._inflight.get(key)
+        if future is not None:
+            self.coalesced += 1
+        else:
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
+            self.batcher.add((key, scenario))
+        # shield: cancelling one waiter (its client hung up mid-request)
+        # must not cancel the shared future out from under coalesced
+        # siblings still awaiting the same computation
+        return await asyncio.shield(future)
+
+    async def _run_batch(self, batch) -> None:
+        groups = defaultdict(list)
+        for key, scenario in batch:
+            groups[self.pool.shard_for(scenario)].append((key, scenario))
+
+        async def run_group(shard, items):
+            try:
+                outcomes = await self.pool.submit_batch(shard, [s for _, s in items])
+            except Exception as exc:  # executor/pool failure: fail the group
+                outcomes = [{"ok": False, "error": f"{type(exc).__name__}: {exc}"}] * len(items)
+            for (key, _), outcome in zip(items, outcomes):
+                future = self._inflight.pop(key, None)
+                if outcome.get("ok"):
+                    self.cache.put(key, outcome["record"])
+                    if future is not None and not future.done():
+                        future.set_result(outcome["record"])
+                else:
+                    self.errors += 1
+                    if future is not None and not future.done():
+                        future.set_exception(ServiceError(outcome.get("error", "unknown")))
+                        # mark retrieved now: every waiter may already be
+                        # gone, and an unretrieved exception dumps a GC-time
+                        # traceback into the server log per hostile client
+                        future.exception()
+
+        await asyncio.gather(*(run_group(s, items) for s, items in groups.items()))
+
+    def stats(self) -> dict:
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "requests": self.requests,
+            "coalesced": self.coalesced,
+            "errors": self.errors,
+            "cache": self.cache.stats(),
+            "batcher": self.batcher.stats(),
+            "shards": self.pool.stats(),
+        }
+
+    async def close(self) -> None:
+        await self.batcher.drain()
+        self.pool.close()
+
+
+async def _handle_request(service: DecompositionService, req: dict, stop: asyncio.Event) -> dict:
+    rid = req.get("id")
+    op = req.get("op")
+    if op == "ping":
+        return {"id": rid, "ok": True, "pong": PROTOCOL_VERSION}
+    if op == "stats":
+        return {"id": rid, "ok": True, "stats": service.stats()}
+    if op == "shutdown":
+        stop.set()
+        return {"id": rid, "ok": True, "stopping": True}
+    try:
+        scenario = scenario_from_spec(req.get("scenario"))
+        record = await service.submit(scenario)
+    except (ProtocolError, ServiceError) as exc:
+        return {"id": rid, "ok": False, "error": str(exc)}
+    except Exception as exc:  # noqa: BLE001 — every request must get an answer;
+        # an unanswered id leaves the client blocked on readline forever
+        return {"id": rid, "ok": False, "error": f"internal error: {type(exc).__name__}"}
+    return {"id": rid, "ok": True, "record": record}
+
+
+async def serve(
+    service: DecompositionService,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    ready=None,
+) -> None:
+    """Run the TCP front-end until a ``shutdown`` request (or cancellation).
+
+    ``ready`` is an optional callback invoked with the bound ``(host, port)``
+    once the socket is listening — tests and ``repro serve`` use it to learn
+    the ephemeral port when ``port=0``.
+    """
+    stop = asyncio.Event()
+    connections: set[asyncio.Task] = set()
+
+    async def handle_connection(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        task = asyncio.current_task()
+        connections.add(task)
+        task.add_done_callback(connections.discard)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+
+        async def respond(req: dict) -> None:
+            resp = await _handle_request(service, req, stop)
+            try:
+                async with write_lock:
+                    writer.write(encode(resp))
+                    await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # peer vanished mid-response; nothing left to tell it
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # line exceeded the stream limit; the buffer is no longer
+                    # line-aligned, so answer once and drop the connection —
+                    # but only after in-flight pipelined responses complete
+                    async with write_lock:
+                        writer.write(encode({"id": None, "ok": False,
+                                             "error": "request line too long"}))
+                        await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    req = parse_request(line)
+                except ProtocolError as exc:
+                    async with write_lock:
+                        writer.write(encode({"id": None, "ok": False, "error": str(exc)}))
+                        await writer.drain()
+                    continue
+                # pipelined: each request resolves independently; responses
+                # are matched by id, not by order
+                task = asyncio.create_task(respond(req))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*list(tasks), return_exceptions=True)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            # abrupt-disconnect path: in-flight responders must be reaped
+            # here, or they die later against the closed transport as
+            # never-retrieved task exceptions
+            for task in list(tasks):
+                task.cancel()
+            try:
+                if tasks:
+                    await asyncio.gather(*list(tasks), return_exceptions=True)
+            except asyncio.CancelledError:
+                pass
+            # close() without wait_closed(): waiting on the TLS/TCP close
+            # handshake of an already-gone peer leaves tasks dangling into
+            # loop shutdown (noisy CancelledError on 3.11)
+            writer.close()
+
+    server = await asyncio.start_server(handle_connection, host, port, limit=2**20)
+    bound = server.sockets[0].getsockname()[:2]
+    if ready is not None:
+        ready(*bound)
+    try:
+        await stop.wait()
+    finally:
+        # close() only — Server.wait_closed() waits for every open handler
+        # since 3.12.1, so one idle client would hang shutdown forever;
+        # instead give handlers a grace period, then cancel stragglers
+        server.close()
+        if connections:
+            _, pending = await asyncio.wait(list(connections), timeout=5.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=1.0)
+        await service.close()

@@ -1,0 +1,140 @@
+"""Persistent worker shards for the decomposition service.
+
+A :class:`ShardPool` owns N single-process ``ProcessPoolExecutor`` shards
+that live for the whole service lifetime.  Requests are routed by
+**instance hash** (:meth:`Scenario.instance_hash` — the same content hash
+the sweep engine caches instances under), so every scenario built from the
+same graph+weights lands on the same shard and hits that process's warm
+:class:`~repro.runtime.InstanceCache` instead of regenerating the instance.
+
+Routing never affects results: each record is a pure function of its
+scenario (see :mod:`repro.runtime.engine`), so any shard count — including
+the inline ``shards=0`` debug mode — produces byte-identical records.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from ..runtime import InstanceCache, Scenario
+from ..runtime.engine import run_scenario, worker_init, worker_run_record
+
+__all__ = ["ShardPool", "shard_run"]
+
+
+def shard_run(scenarios: list[Scenario], run=None) -> list[dict]:
+    """Executed inside a shard process: run a batch, wrapping failures.
+
+    Errors are captured *per scenario* so one failing request (say, a dead
+    npz path) reports back alone instead of taking its batch-mates down.
+    ``run`` defaults to the per-process worker; the inline shard mode passes
+    its own so the outcome shape has exactly one definition.
+    """
+    run = worker_run_record if run is None else run
+    out = []
+    for scenario in scenarios:
+        try:
+            out.append({"ok": True, "record": run(scenario)})
+        except Exception as exc:  # noqa: BLE001 — the wire carries the reason
+            out.append({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+    return out
+
+
+class ShardPool:
+    """N persistent worker shards plus content-hash routing.
+
+    ``shards >= 1`` spawns that many single-worker process pools.
+    ``shards == 0`` runs batches on one worker *thread* with a local
+    instance cache — no subprocesses, same records; the debuggable mode
+    unit tests and tiny deployments use.  ``instance_cache_entries``
+    bounds each worker's in-memory instance cache (LRU) so a long-lived
+    service cannot grow a shard without limit.
+    """
+
+    def __init__(self, shards: int = 2, cache_dir=None, instance_cache_entries: int = 512):
+        if shards < 0:
+            raise ValueError("shards must be >= 0")
+        self.shards = int(shards)
+        self.cache_dir = cache_dir
+        self.instance_cache_entries = instance_cache_entries
+        self.batches = 0
+        self.requests = 0
+        self.respawns = 0
+        if self.shards == 0:
+            self._executors = [ThreadPoolExecutor(max_workers=1)]
+            cache = InstanceCache(directory=cache_dir, max_entries=instance_cache_entries)
+
+            def _inline_run(scenarios: list[Scenario]) -> list[dict]:
+                return shard_run(
+                    scenarios, run=lambda s: run_scenario(s, cache=cache).record()
+                )
+
+            self._run = _inline_run
+        else:
+            self._executors = [self._spawn_executor() for _ in range(self.shards)]
+            self._run = shard_run
+
+    def _spawn_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=1,
+            initializer=worker_init,
+            initargs=(self.cache_dir, self.instance_cache_entries),
+        )
+
+    @property
+    def nshards(self) -> int:
+        return len(self._executors)
+
+    def shard_for(self, scenario: Scenario) -> int:
+        """Stable instance-hash routing: same instance -> same shard."""
+        return int(scenario.instance_hash(), 16) % self.nshards
+
+    async def submit_batch(self, shard: int, scenarios: list[Scenario]) -> list[dict]:
+        """Run one batch on ``shard``; returns per-scenario ok/error dicts.
+
+        A shard whose worker process died (OOM kill, segfault in native
+        code) is respawned and the batch retried once, so a single crash
+        never takes 1/N of the keyspace down for the rest of the service's
+        life.  A second consecutive break propagates to the caller.
+        """
+        self.batches += 1
+        self.requests += len(scenarios)
+        loop = asyncio.get_running_loop()
+        executor = self._executors[shard]
+        try:
+            return await loop.run_in_executor(executor, self._run, list(scenarios))
+        except BrokenProcessPool:
+            self._respawn(shard, executor)
+            return await loop.run_in_executor(
+                self._executors[shard], self._run, list(scenarios)
+            )
+
+    def _respawn(self, shard: int, broken) -> None:
+        # concurrent batches can observe the same crash; only the first one
+        # replaces the executor — tearing down whatever currently occupies
+        # the slot would cancel a sibling's already-running retry
+        if self._executors[shard] is not broken:
+            return
+        self.respawns += 1
+        try:
+            broken.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass  # the pool is already broken; releasing it is best-effort
+        self._executors[shard] = self._spawn_executor()
+
+    def stats(self) -> dict:
+        return {
+            "shards": self.shards,
+            "batches": self.batches,
+            "requests": self.requests,
+            "respawns": self.respawns,
+        }
+
+    def close(self) -> None:
+        # wait=True: callers drain in-flight batches first, so the join is
+        # immediate — and skipping it races the executor's management thread
+        # against interpreter teardown (noisy "Bad file descriptor" atexit)
+        for executor in self._executors:
+            executor.shutdown(wait=True, cancel_futures=True)

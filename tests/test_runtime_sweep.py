@@ -95,13 +95,28 @@ class TestCache:
         s = Scenario(family="grid", size=8, k=2, weights="zipf")
         c1 = InstanceCache(directory=tmp_path)
         inst = c1.get(s)
-        assert c1.stats() == {"hits": 0, "misses": 1, "entries": 1}
+        assert c1.stats() == {"hits": 0, "misses": 1, "entries": 1, "evictions": 0}
         # a fresh cache (fresh process) hits the disk entry
         c2 = InstanceCache(directory=tmp_path)
         inst2 = c2.get(s)
         assert c2.misses == 0 and c2.hits == 1
         assert inst2.graph.n == inst.graph.n
         assert (inst2.weights == inst.weights).all()
+
+    def test_bounded_cache_evicts_lru(self):
+        cache = InstanceCache(max_entries=2)
+        a = Scenario(family="grid", size=6, k=2)
+        b = Scenario(family="grid", size=7, k=2)
+        c = Scenario(family="grid", size=8, k=2)
+        cache.get(a)
+        cache.get(b)
+        cache.get(a)  # refresh a; b is now least recent
+        cache.get(c)  # evicts b
+        assert cache.stats()["entries"] == 2 and cache.stats()["evictions"] == 1
+        cache.get(a)
+        assert cache.hits == 2  # a survived
+        cache.get(b)
+        assert cache.misses == 4  # b was rebuilt
 
     def test_cached_instance_gives_same_result(self, tmp_path):
         s = Scenario(family="grid", size=8, k=2, weights="zipf")
@@ -227,6 +242,18 @@ class TestSweepCli:
     def test_sweep_requires_axes(self):
         with pytest.raises(SystemExit):
             main(["sweep"])
+
+
+def test_make_oracle_names():
+    from repro.runtime import make_oracle
+
+    with pytest.raises(KeyError, match="unknown oracle 'nope'"):
+        make_oracle("nope")
+    # the error names the available oracles so callers can self-correct
+    with pytest.raises(KeyError, match="bfs"):
+        make_oracle("typo")
+    for name in ("best", "best3", "bfs", "spectral", "grid", "index", "random"):
+        assert make_oracle(name, seed=1) is not None
 
 
 def test_build_instance_unknown_names():

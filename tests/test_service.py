@@ -1,0 +1,645 @@
+"""Tests for the batched decomposition service (repro.service)."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs import grid_graph
+from repro.graphs.io import save_npz
+from repro.runtime import Scenario, run_sweep
+from repro.service import (
+    ColoringCache,
+    DecompositionService,
+    MicroBatcher,
+    ProtocolError,
+    ServiceClient,
+    ServiceError,
+    ShardPool,
+    canonical_record,
+    parse_request,
+    run_loadgen,
+    scenario_from_spec,
+    serve,
+)
+
+SPECS = [
+    {"family": "grid", "size": 8, "k": 2},
+    {"family": "grid", "size": 8, "k": 4},
+    {"family": "mesh", "size": 8, "k": 2, "weights": "zipf"},
+    {"family": "grid", "size": 8, "k": 2, "algorithm": "greedy"},
+]
+
+
+def sweep_bodies(specs) -> dict:
+    """scenario_id -> canonical record, computed through the sweep engine."""
+    scenarios = [scenario_from_spec(s) for s in specs]
+    return {r.scenario_id: canonical_record(r.record()) for r in run_sweep(scenarios)}
+
+
+async def start_server(service):
+    """Start ``serve`` on an ephemeral port; returns (task, host, port)."""
+    ready = asyncio.Event()
+    bound = {}
+
+    def _ready(host, port):
+        bound.update(host=host, port=port)
+        ready.set()
+
+    task = asyncio.create_task(serve(service, port=0, ready=_ready))
+    await asyncio.wait_for(ready.wait(), 10)
+    return task, bound["host"], bound["port"]
+
+
+async def stop_server(task, host, port):
+    client = await ServiceClient.connect(host, port)
+    await client.shutdown()
+    await client.close()
+    await asyncio.wait_for(task, 30)
+
+
+class TestProtocol:
+    def test_spec_roundtrip_matches_sweep_scenario(self):
+        s = scenario_from_spec({"family": "grid", "size": 8, "k": 2, "seed": 3})
+        assert s == Scenario(family="grid", size=8, k=2, seed=3)
+
+    def test_oracle_sugar_folds_into_params(self):
+        a = scenario_from_spec({"family": "grid", "size": 8, "k": 2, "oracle": "bfs"})
+        b = Scenario(family="grid", size=8, k=2, params=(("oracle", "bfs"),))
+        assert a == b and a.scenario_id() == b.scenario_id()
+
+    @pytest.mark.parametrize(
+        "spec,match",
+        [
+            ("nope", "must be an object"),
+            ({"family": "grid", "size": 8}, "needs keys: k"),
+            ({"family": "grid", "size": 8, "k": 2, "bogus": 1}, "unknown scenario keys"),
+            ({"family": "nope", "size": 8, "k": 2}, "unknown family"),
+            ({"family": "grid", "size": 8, "k": 2, "algorithm": "nope"}, "unknown algorithm"),
+            ({"family": "grid", "size": 8, "k": 2, "weights": "nope"}, "unknown weights"),
+            ({"family": "grid", "size": "x", "k": 2}, "size must be an integer"),
+            ({"family": "grid", "size": 8, "k": 2, "params": 5}, "params must be an object"),
+            ({"family": "grid", "size": 8, "k": 2, "params": [1]}, "params must be an object"),
+            ({"family": "grid", "size": 12.9, "k": 2}, "size must be an integer"),
+            ({"family": "grid", "size": 8, "k": 3.5}, "k must be an integer"),
+            ({"family": "grid", "size": 8, "k": 2, "seed": True}, "seed must be an integer"),
+        ],
+    )
+    def test_bad_specs_rejected(self, spec, match):
+        with pytest.raises(ProtocolError, match=match):
+            scenario_from_spec(spec)
+
+    def test_parse_request_errors(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            parse_request(b"{nope\n")
+        with pytest.raises(ProtocolError, match="must be a JSON object"):
+            parse_request(b"[1,2]\n")
+        with pytest.raises(ProtocolError, match="unknown op"):
+            parse_request(b'{"op": "reboot"}\n')
+        with pytest.raises(ProtocolError, match="needs a 'scenario'"):
+            parse_request(b'{"id": 1}\n')
+        assert parse_request(b'{"op": "ping"}\n') == {"op": "ping"}
+
+    def test_canonical_record_is_key_order_independent(self):
+        assert canonical_record({"b": 1, "a": {"y": 2, "x": 3}}) == canonical_record(
+            {"a": {"x": 3, "y": 2}, "b": 1}
+        )
+
+
+class TestColoringCache:
+    def test_hit_miss_and_stats(self):
+        cache = ColoringCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", {"v": 1})
+        assert cache.get("a") == {"v": 1}
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+    def test_lru_eviction_order(self):
+        cache = ColoringCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_zero_size_cache_never_stores(self):
+        cache = ColoringCache(maxsize=0)
+        cache.put("a", 1)
+        assert len(cache) == 0 and cache.get("a") is None
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ColoringCache(maxsize=-1)
+
+
+class TestMicroBatcher:
+    def test_size_flush(self):
+        async def run():
+            batches = []
+
+            async def flush(batch):
+                batches.append(batch)
+
+            b = MicroBatcher(flush, max_batch_size=3, max_wait_ms=1000.0)
+            for i in range(7):
+                b.add(i)
+            await b.drain()
+            return batches, b.stats()
+
+        batches, stats = asyncio.run(run())
+        # two size flushes of 3, then drain flushes the remainder; order kept
+        assert batches == [[0, 1, 2], [3, 4, 5], [6]]
+        assert stats["size_flushes"] == 2 and stats["batches"] == 3
+
+    def test_timeout_flush(self):
+        async def run():
+            batches = []
+
+            async def flush(batch):
+                batches.append(batch)
+
+            b = MicroBatcher(flush, max_batch_size=100, max_wait_ms=10.0)
+            b.add("x")
+            await asyncio.sleep(0.15)
+            return batches, b.stats()
+
+        batches, stats = asyncio.run(run())
+        assert batches == [["x"]]
+        assert stats["timeout_flushes"] == 1
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(None, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(None, max_wait_ms=-1.0)
+
+
+class TestShardPool:
+    def test_inline_records_match_sweep(self):
+        scenarios = [scenario_from_spec(s) for s in SPECS]
+        pool = ShardPool(shards=0)
+        try:
+            outcomes = asyncio.run(pool.submit_batch(0, scenarios))
+        finally:
+            pool.close()
+        assert all(o["ok"] for o in outcomes)
+        expected = sweep_bodies(SPECS)
+        for outcome in outcomes:
+            sid = outcome["record"]["scenario_id"]
+            assert canonical_record(outcome["record"]) == expected[sid]
+
+    def test_inline_wraps_per_scenario_errors(self):
+        good = scenario_from_spec(SPECS[0])
+        bad = Scenario(family="npz", size=0, k=2, params=(("path", "/nope.npz"),))
+        pool = ShardPool(shards=0)
+        try:
+            outcomes = asyncio.run(pool.submit_batch(0, [bad, good]))
+        finally:
+            pool.close()
+        assert not outcomes[0]["ok"] and "error" in outcomes[0]
+        assert outcomes[1]["ok"]
+
+    def test_routing_is_stable_and_instance_keyed(self):
+        pool = ShardPool(shards=0)  # nshards == 1, but routing math is the same
+        try:
+            assert pool.shard_for(scenario_from_spec(SPECS[0])) == 0
+        finally:
+            pool.close()
+        pool4 = ShardPool.__new__(ShardPool)  # routing without spawning processes
+        pool4._executors = [None] * 4
+        a = Scenario(family="grid", size=8, k=2)
+        b = Scenario(family="grid", size=8, k=4, algorithm="greedy")
+        c = Scenario(family="grid", size=9, k=2)
+        # same instance hash -> same shard, regardless of k/algorithm
+        assert pool4.shard_for(a) == pool4.shard_for(b)
+        assert a.instance_hash() != c.instance_hash()
+
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ShardPool(shards=-1)
+
+
+class TestDecompositionService:
+    def _service(self, **kw):
+        kw.setdefault("shards", 0)
+        kw.setdefault("max_wait_ms", 1.0)
+        return DecompositionService(**kw)
+
+    def test_submit_matches_sweep_and_caches(self):
+        async def run():
+            service = self._service()
+            try:
+                scenario = scenario_from_spec(SPECS[0])
+                first = await service.submit(scenario)
+                second = await service.submit(scenario)
+                return first, second, service.stats()
+            finally:
+                await service.close()
+
+        first, second, stats = asyncio.run(run())
+        assert canonical_record(first) == sweep_bodies(SPECS[:1])[first["scenario_id"]]
+        assert first == second
+        assert stats["cache"]["hits"] == 1
+        assert stats["shards"]["requests"] == 1  # second submit never hit a shard
+
+    def test_concurrent_duplicates_coalesce(self):
+        async def run():
+            service = self._service(max_batch_size=100, max_wait_ms=20.0)
+            try:
+                scenario = scenario_from_spec(SPECS[0])
+                records = await asyncio.gather(*(service.submit(scenario) for _ in range(8)))
+                return records, service.stats()
+            finally:
+                await service.close()
+
+        records, stats = asyncio.run(run())
+        assert all(r == records[0] for r in records)
+        assert stats["coalesced"] == 7
+        assert stats["shards"]["requests"] == 1
+
+    def test_cancelled_waiter_does_not_kill_coalesced_sibling(self):
+        async def run():
+            service = self._service(max_batch_size=100, max_wait_ms=30.0)
+            try:
+                scenario = scenario_from_spec(SPECS[0])
+                first = asyncio.ensure_future(service.submit(scenario))
+                second = asyncio.ensure_future(service.submit(scenario))
+                await asyncio.sleep(0)  # both registered on the inflight future
+                first.cancel()
+                record = await second  # must resolve despite the cancellation
+                return record, first.cancelled()
+            finally:
+                await service.close()
+
+        record, first_cancelled = asyncio.run(run())
+        assert first_cancelled
+        assert canonical_record(record) == sweep_bodies(SPECS[:1])[record["scenario_id"]]
+
+    def test_shard_error_propagates_as_service_error(self):
+        async def run():
+            service = self._service(npz_root="/")  # authorized, but missing file
+            try:
+                bad = Scenario(family="npz", size=0, k=2, params=(("path", "/nope.npz"),))
+                with pytest.raises(ServiceError):
+                    await service.submit(bad)
+                return service.stats()
+            finally:
+                await service.close()
+
+        stats = asyncio.run(run())
+        assert stats["errors"] == 1
+
+    def test_lru_bound_is_enforced(self):
+        async def run():
+            service = self._service(cache_size=2)
+            try:
+                for spec in SPECS[:3]:
+                    await service.submit(scenario_from_spec(spec))
+                return service.stats()
+            finally:
+                await service.close()
+
+        stats = asyncio.run(run())
+        assert stats["cache"]["entries"] == 2
+        assert stats["cache"]["evictions"] == 1
+
+
+class TestServer:
+    def test_end_to_end_records_and_control_ops(self):
+        async def run():
+            service = DecompositionService(shards=0, max_wait_ms=1.0)
+            task, host, port = await start_server(service)
+            client = await ServiceClient.connect(host, port)
+            try:
+                responses = [await client.decompose(spec) for spec in SPECS]
+                pong = await client.ping()
+                stats = await client.stats()
+                bad = await client.decompose({"family": "grid", "size": 8})
+                return responses, pong, stats, bad
+            finally:
+                await client.close()
+                await stop_server(task, host, port)
+
+        responses, pong, stats, bad = asyncio.run(run())
+        expected = sweep_bodies(SPECS)
+        assert all(r["ok"] for r in responses)
+        for resp in responses:
+            sid = resp["record"]["scenario_id"]
+            assert canonical_record(resp["record"]) == expected[sid]
+        assert pong["ok"] and pong["pong"] == 1
+        assert stats["stats"]["requests"] == len(SPECS)
+        assert not bad["ok"] and "needs keys: k" in bad["error"]
+
+    def test_malformed_line_answered_not_fatal(self):
+        async def run():
+            service = DecompositionService(shards=0, max_wait_ms=1.0)
+            task, host, port = await start_server(service)
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                err = json.loads(await reader.readline())
+                writer.write(b'{"op": "ping", "id": 5}\n')
+                await writer.drain()
+                pong = json.loads(await reader.readline())
+                writer.close()
+                return err, pong
+            finally:
+                await stop_server(task, host, port)
+
+        err, pong = asyncio.run(run())
+        assert not err["ok"] and err["id"] is None
+        assert pong["ok"] and pong["id"] == 5
+
+    def test_pipelined_requests_matched_by_id(self):
+        async def run():
+            service = DecompositionService(shards=0, max_wait_ms=1.0)
+            task, host, port = await start_server(service)
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                for i, spec in enumerate(SPECS):
+                    writer.write(
+                        (json.dumps({"id": i, "scenario": spec}) + "\n").encode()
+                    )
+                await writer.drain()
+                responses = [json.loads(await reader.readline()) for _ in SPECS]
+                writer.close()
+                return responses
+            finally:
+                await stop_server(task, host, port)
+
+        responses = asyncio.run(run())
+        assert sorted(r["id"] for r in responses) == [0, 1, 2, 3]
+        assert all(r["ok"] for r in responses)
+
+    def test_process_shards_byte_identical_to_inline(self):
+        async def run(shards):
+            service = DecompositionService(shards=shards, max_wait_ms=1.0)
+            task, host, port = await start_server(service)
+            client = await ServiceClient.connect(host, port)
+            try:
+                return [await client.decompose(spec) for spec in SPECS]
+            finally:
+                await client.close()
+                await stop_server(task, host, port)
+
+        inline = [canonical_record(r["record"]) for r in asyncio.run(run(0))]
+        sharded = [canonical_record(r["record"]) for r in asyncio.run(run(2))]
+        assert inline == sharded
+
+    def test_shutdown_completes_with_idle_client_connected(self):
+        # Server.wait_closed() waits for open handlers since 3.12.1; an idle
+        # connection must not be able to hang shutdown (the server cancels
+        # stragglers after a grace period instead)
+        async def run():
+            service = DecompositionService(shards=0, max_wait_ms=1.0)
+            task, host, port = await start_server(service)
+            idle = await ServiceClient.connect(host, port)  # never speaks
+            try:
+                await stop_server(task, host, port)
+                return True
+            finally:
+                await idle.close()
+
+        assert asyncio.run(asyncio.wait_for(run(), 30))
+
+    def test_broken_shard_respawns(self):
+        async def run():
+            pool = ShardPool(shards=1)
+            scenario = scenario_from_spec(SPECS[0])
+            try:
+                first = await pool.submit_batch(0, [scenario])
+                # kill the shard's worker process out from under it
+                import os
+                import signal
+
+                (pid,) = pool._executors[0]._processes.keys()
+                os.kill(pid, signal.SIGKILL)
+                second = await pool.submit_batch(0, [scenario])
+                return first, second, pool.stats()
+            finally:
+                pool.close()
+
+        first, second, stats = asyncio.run(run())
+        assert first[0]["ok"] and second[0]["ok"]
+        assert first[0]["record"] == second[0]["record"]
+        assert stats["respawns"] == 1
+
+    def test_npz_ref_request(self, tmp_path):
+        g = grid_graph(6, 6)
+        save_npz(tmp_path / "g.npz", g, weights=np.ones(g.n))
+        spec = {"family": "npz", "size": 0, "k": 2,
+                "params": {"path": str(tmp_path / "g.npz")}}
+
+        async def run():
+            service = DecompositionService(shards=0, max_wait_ms=1.0, npz_root=tmp_path)
+            task, host, port = await start_server(service)
+            client = await ServiceClient.connect(host, port)
+            try:
+                return await client.decompose(spec)
+            finally:
+                await client.close()
+                await stop_server(task, host, port)
+
+        resp = asyncio.run(run())
+        assert resp["ok"]
+        assert resp["record"]["instance"]["n"] == 36
+        assert resp["record"]["metrics"]["strictly_balanced"]
+
+    def test_npz_refs_confined_to_root(self, tmp_path):
+        async def run(npz_root, path):
+            service = DecompositionService(shards=0, max_wait_ms=1.0, npz_root=npz_root)
+            task, host, port = await start_server(service)
+            client = await ServiceClient.connect(host, port)
+            try:
+                return await client.decompose(
+                    {"family": "npz", "size": 0, "k": 2, "params": {"path": path}}
+                )
+            finally:
+                await client.close()
+                await stop_server(task, host, port)
+
+        # disabled by default: no probing the server's filesystem
+        off = asyncio.run(run(None, "/etc/passwd"))
+        assert not off["ok"] and "disabled" in off["error"]
+        # path escape attempts stay inside the root
+        out = asyncio.run(run(tmp_path, str(tmp_path / ".." / "escape.npz")))
+        assert not out["ok"] and "must live under" in out["error"]
+
+    def test_npz_native_costs_preserved(self, tmp_path):
+        from repro.graphs import uniform_costs
+        from repro.runtime import run_scenario
+
+        g = grid_graph(6, 6).with_costs(
+            uniform_costs(grid_graph(6, 6), 0.5, 3.0, rng=np.random.default_rng(7))
+        )
+        save_npz(tmp_path / "g.npz", g)
+        native = Scenario(family="npz", size=0, k=2, costs="native",
+                          params=(("path", str(tmp_path / "g.npz")),))
+        default = Scenario(family="npz", size=0, k=2,
+                           params=(("path", str(tmp_path / "g.npz")),))
+        rec_native = run_scenario(native).record()
+        rec_default = run_scenario(default).record()
+        # "native" keeps the archive's costs; the default unit distribution
+        # overwrites them (uniform semantics across families — documented)
+        assert rec_native["instance"]["cost_max"] > 1.0
+        assert rec_default["instance"]["cost_max"] == 1.0
+
+    def test_oversized_line_drops_connection_not_server(self):
+        async def run():
+            service = DecompositionService(shards=0, max_wait_ms=1.0)
+            task, host, port = await start_server(service)
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"x" * (2**21) + b"\n")  # 2 MiB > the 1 MiB limit
+                try:
+                    await writer.drain()
+                    line = await reader.readline()
+                    answer = json.loads(line) if line else None
+                except (ConnectionResetError, BrokenPipeError):
+                    # the server may reset us while the flood is still in
+                    # flight; what matters is that it answers best-effort
+                    # and stays up (below)
+                    answer = None
+                writer.close()
+                survivor = await ServiceClient.connect(host, port)
+                try:
+                    pong = await survivor.ping()
+                finally:
+                    await survivor.close()
+                return answer, pong
+            finally:
+                await stop_server(task, host, port)
+
+        answer, pong = asyncio.run(run())
+        if answer is not None:
+            assert not answer["ok"] and "too long" in answer["error"]
+        assert pong["ok"]  # one hostile line never takes the server down
+
+
+class TestLatencySummary:
+    def test_nearest_rank_percentiles(self):
+        from repro.service import latency_summary
+
+        sample = [i / 1000.0 for i in range(1, 101)]  # 1..100 ms
+        summary = latency_summary(sample)
+        assert summary["p50_ms"] == 50.0
+        assert summary["p95_ms"] == 95.0
+        assert summary["p99_ms"] == 99.0  # not the max
+        assert summary["max_ms"] == 100.0
+        assert summary["count"] == 100
+
+    def test_tiny_samples(self):
+        from repro.service import latency_summary
+
+        assert latency_summary([]) == {"count": 0}
+        two = latency_summary([0.001, 0.002])
+        assert two["p50_ms"] == 1.0  # nearest rank, not the max
+
+
+class TestLoadgen:
+    def test_report_and_deterministic_bodies(self):
+        async def run():
+            service = DecompositionService(shards=0, max_wait_ms=1.0)
+            task, host, port = await start_server(service)
+            try:
+                out = await run_loadgen(host, port, SPECS, connections=3, passes=2)
+            finally:
+                await stop_server(task, host, port)
+            return out
+
+        out = asyncio.run(run())
+        report, bodies = out["report"], out["bodies"]
+        assert [p["pass"] for p in report["passes"]] == [1, 2]
+        assert all(p["requests"] == len(SPECS) for p in report["passes"])
+        assert all(p["throughput_rps"] > 0 for p in report["passes"])
+        assert report["errors"] == []
+        assert report["server_stats"]["cache"]["hits"] >= len(SPECS)  # warm pass
+        assert bodies == sweep_bodies(SPECS)
+        assert list(bodies) == sorted(bodies)
+
+    def test_loadgen_surfaces_request_errors(self):
+        async def run():
+            service = DecompositionService(shards=0, max_wait_ms=1.0)
+            task, host, port = await start_server(service)
+            try:
+                bad = [{"family": "grid", "size": 8, "k": 2, "algorithm": "nope"}]
+                return await run_loadgen(host, port, SPECS[:1] + bad,
+                                         connections=2, passes=1)
+            finally:
+                await stop_server(task, host, port)
+
+        out = asyncio.run(run())
+        assert len(out["report"]["errors"]) == 1
+        assert "unknown algorithm" in out["report"]["errors"][0]["error"]
+        assert len(out["bodies"]) == 1
+
+
+class TestServiceCli:
+    def test_serve_loadgen_roundtrip(self, tmp_path, capsys):
+        """Full CLI path: spawn `repro serve` inline on a thread, hit it with
+        `repro loadgen --check-sweep`, shut it down via the op."""
+        import threading
+
+        port_box = {}
+        ready = threading.Event()
+
+        def _serve():
+            import repro.cli as cli
+
+            original = cli._run_serve
+
+            # run the real serve but capture the ephemeral port
+            def patched(args):
+                import asyncio as aio
+
+                from repro.service import DecompositionService
+                from repro.service import serve as serve_coro
+
+                service = DecompositionService(shards=0, max_wait_ms=1.0)
+
+                def _ready(host, port):
+                    port_box["port"] = port
+                    ready.set()
+
+                aio.run(serve_coro(service, host=args.host, port=0, ready=_ready))
+                return 0
+
+            cli._run_serve = patched
+            try:
+                main(["serve", "--port", "0", "--shards", "0"])
+            finally:
+                cli._run_serve = original
+
+        thread = threading.Thread(target=_serve, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        report = tmp_path / "report.json"
+        bodies = tmp_path / "bodies.json"
+        rc = main([
+            "loadgen", "--port", str(port_box["port"]),
+            "--family", "grid", "--size", "8", "--k", "2", "4",
+            "--connections", "2", "--passes", "2",
+            "--check-sweep", "--shutdown", "--min-rps", "1",
+            "-o", str(report), "--bodies", str(bodies),
+        ])
+        thread.join(timeout=30)
+        assert rc == 0
+        assert not thread.is_alive()
+        doc = json.loads(report.read_text())
+        assert doc["unique_scenarios"] == 2 and "grid" in doc
+        assert json.loads(bodies.read_text()) == sweep_bodies(
+            [{"family": "grid", "size": 8, "k": 2}, {"family": "grid", "size": 8, "k": 4}]
+        )
+
+    def test_loadgen_requires_axes(self):
+        with pytest.raises(SystemExit, match="loadgen needs"):
+            main(["loadgen"])
+
+    def test_loadgen_rejects_unknown_axis_value(self):
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(["loadgen", "--family", "grid", "--size", "8", "--k", "2",
+                  "--algorithm", "nope"])
