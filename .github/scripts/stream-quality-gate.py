@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""CI gate: incremental repair must track full recompute per trace family.
+
+Takes two ``repro sweep`` result files over the same streaming grid — one
+run with ``--policy repair``, one with ``--policy recompute`` — matches
+scenarios pairwise (same cell up to the policy param), and fails if any
+repaired final max boundary cost exceeds ``gamma ×`` its recomputed
+counterpart.
+
+Usage: stream-quality-gate.py repair.json recompute.json [gamma]
+"""
+
+import json
+import sys
+
+
+def cell_key(record: dict) -> str:
+    scenario = dict(record["scenario"])
+    params = dict(scenario.pop("params", {}))
+    params.pop("policy", None)
+    scenario["params"] = sorted(params.items())
+    return json.dumps(scenario, sort_keys=True)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    gamma = float(argv[3]) if len(argv) > 3 else 1.25
+    with open(argv[1]) as fh:
+        repaired = json.load(fh)["results"]
+    with open(argv[2]) as fh:
+        recomputed = {cell_key(r): r for r in json.load(fh)["results"]}
+    failures = 0
+    for rec in repaired:
+        ref = recomputed.get(cell_key(rec))
+        if ref is None:
+            print(f"MISSING recompute counterpart for {rec['scenario_id']}")
+            failures += 1
+            continue
+        got = rec["metrics"]["max_boundary"]
+        want = ref["metrics"]["max_boundary"]
+        ratio = got / want if want > 0 else (0.0 if got == 0 else float("inf"))
+        trace = dict(rec["scenario"].get("params", {})).get("trace", "?")
+        verdict = "ok" if ratio <= gamma else "FAIL"
+        print(f"{verdict}: {trace} repaired {got:.6g} vs recomputed {want:.6g} "
+              f"(ratio {ratio:.3f}, gamma {gamma})")
+        if ratio > gamma:
+            failures += 1
+        if not rec["metrics"].get("strictly_balanced"):
+            print(f"FAIL: {trace} repaired coloring lost strict balance")
+            failures += 1
+    print(f"stream quality gate: {len(repaired)} cells, {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

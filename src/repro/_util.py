@@ -34,14 +34,26 @@ class BoundedLru:
     :class:`~repro.runtime.InstanceCache` and the service's
     :class:`~repro.service.ColoringCache` delegate here, so their eviction
     mechanics cannot drift apart.
+
+    Entries may additionally carry a *weight* (``put(key, value, weight=n)``)
+    against an optional ``max_weight`` budget — the cost-aware mode: a large
+    record occupies proportionally more of the cache, so a flood of small
+    entries cannot evict one big one any faster than its fair share.  An
+    entry weighing more than the whole budget is not admitted at all.
     """
 
-    def __init__(self, maxsize: int | None = None):
+    def __init__(self, maxsize: int | None = None, max_weight: float | None = None):
         if maxsize is not None and maxsize < 0:
             raise ValueError("maxsize must be >= 0 (or None for unbounded)")
+        if max_weight is not None and max_weight < 0:
+            raise ValueError("max_weight must be >= 0 (or None for unweighted)")
         self.maxsize = maxsize
+        self.max_weight = max_weight
+        self.weight = 0.0
         self.evictions = 0
+        self.rejected = 0
         self._entries: OrderedDict = OrderedDict()
+        self._weights: dict = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -56,15 +68,33 @@ class BoundedLru:
             self._entries.move_to_end(key)
         return value
 
-    def put(self, key, value) -> None:
-        if self.maxsize == 0:
+    def _evict_oldest(self) -> None:
+        key, _ = self._entries.popitem(last=False)
+        self.weight -= self._weights.pop(key, 0.0)
+        self.evictions += 1
+
+    def put(self, key, value, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise ValueError("weight must be >= 0")
+        if self.maxsize == 0 or (self.max_weight is not None and self.max_weight == 0):
             return
+        if self.max_weight is not None and weight > self.max_weight:
+            self.rejected += 1  # would evict the entire cache for one entry
+            return
+        if key in self._entries:
+            self.weight -= self._weights.pop(key, 0.0)
         self._entries[key] = value
+        self._weights[key] = float(weight)
+        self.weight += float(weight)
         self._entries.move_to_end(key)
         if self.maxsize is not None:
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+                self._evict_oldest()
+        if self.max_weight is not None:
+            # terminates: oversized entries were rejected at admission, so
+            # evicting down to (at worst) the new entry lands inside budget
+            while self.weight > self.max_weight:
+                self._evict_oldest()
 
 
 def as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:

@@ -94,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="persistent worker processes (0 = inline thread, debug)")
     sv.add_argument("--cache-size", type=int, default=1024,
                     help="max entries in the LRU coloring cache")
+    sv.add_argument("--cache-max-bytes", type=int,
+                    help="additionally bound the coloring cache by total "
+                    "canonical-record bytes (cost-aware eviction)")
     sv.add_argument("--max-batch-size", type=int, default=32,
                     help="flush a micro-batch at this many requests")
     sv.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -101,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--cache-dir", help="on-disk instance cache for the shards")
     sv.add_argument("--npz-root", help="directory npz-ref requests may read from "
                     "(npz refs are rejected unless this is set)")
+    sv.add_argument("--idle-timeout", type=float,
+                    help="reap connections idle for this many seconds "
+                    "(ping is the keep-alive heartbeat)")
+    sv.add_argument("--max-sessions", type=int, default=64,
+                    help="max concurrently open streaming sessions")
+    sv.add_argument("--session-ttl", type=float, default=900.0,
+                    help="expire streaming sessions idle for this many seconds "
+                    "(enforced when the session limit is hit; 0 disables)")
 
     lg = sub.add_parser("loadgen",
                         help="replay a scenario grid against a running service")
@@ -121,12 +132,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="send a shutdown op to the server when done")
     lg.add_argument("--min-rps", type=float,
                     help="fail unless the best pass sustains this many req/s")
+    lg.add_argument("--mix", metavar="zipf:S",
+                    help="sample the grid non-uniformly (zipf over grid order) "
+                    "instead of replaying it; recorded in the report")
+    lg.add_argument("--churn", type=int, metavar="STEPS",
+                    help="churn mode: open one streaming session per scenario "
+                    "and replay STEPS mutation-trace steps through it")
     return parser
 
 
 def _add_grid_arguments(sub) -> None:
     """Scenario-grid axis flags shared by ``sweep`` and ``loadgen``."""
-    sub.add_argument("--preset", choices=["smoke", "quality", "scaling"],
+    sub.add_argument("--preset", choices=sorted(SWEEP_PRESETS),
                      help="start from a predefined grid (axis flags override it)")
     sub.add_argument("--family", nargs="+", help="graph families (grid, mesh, torus, ...)")
     sub.add_argument("--size", nargs="+", type=int, help="family size parameters")
@@ -138,6 +155,12 @@ def _add_grid_arguments(sub) -> None:
     sub.add_argument("--seed", nargs="+", type=int, help="instance seeds")
     sub.add_argument("--param", action="append", default=[], metavar="NAME=VALUE",
                      help="extra scenario parameter (repeatable), e.g. --param eps=0.3")
+    sub.add_argument("--trace", nargs="+",
+                     help="streaming trace kinds (expands the params axis; "
+                     "implies algorithm=stream scenarios)")
+    sub.add_argument("--policy", nargs="+",
+                     help="streaming repair policies (repair, patch, recompute); "
+                     "expands the params axis")
 
 
 #: predefined grids; ``smoke`` is the CI bench-smoke grid and must stay small.
@@ -154,6 +177,17 @@ SWEEP_PRESETS = {
     "scaling": dict(
         family=["grid"], size=[16, 24, 34, 48], k=[2, 8, 32],
         algorithm=["minmax"], weights=["zipf"], costs=["unit"], seed=[0],
+    ),
+    # one streaming cell per trace family; used by the CI streaming-smoke
+    # job and as the churn-loadgen default grid — keep it small
+    "stream": dict(
+        family=["grid"], size=[10], k=[4], algorithm=["stream"],
+        weights=["zipf"], costs=["unit"], seed=[0],
+        # refresh=4: small instances are noisy, and cheap to refresh
+        params=[
+            {"trace": trace, "steps": 6, "ops": 6, "refresh": 4}
+            for trace in ("random-churn", "sliding-window", "hotspot", "adversarial-cut")
+        ],
     ),
 }
 
@@ -187,6 +221,31 @@ def _grid_from_args(args, command: str):
         raise SystemExit(f"{command} needs a --preset or at least one axis flag")
     if args.param:
         axes["params"] = [dict(_parse_param(p) for p in args.param)]
+    if getattr(args, "trace", None) or getattr(args, "policy", None):
+        # --trace / --policy are grid axes over the params dimension: the
+        # existing params cells are crossed with every (trace, policy) combo
+        from .stream import POLICIES, TRACES
+
+        traces = getattr(args, "trace", None) or [None]
+        policies = getattr(args, "policy", None) or [None]
+        for t in traces:
+            if t is not None and t not in TRACES:
+                raise SystemExit(
+                    f"{command}: unknown trace {t!r} (have {', '.join(sorted(TRACES))})"
+                )
+        for p in policies:
+            if p is not None and p not in POLICIES:
+                raise SystemExit(
+                    f"{command}: unknown policy {p!r} (have {', '.join(POLICIES)})"
+                )
+        cells = axes.get("params") or [{}]
+        axes["params"] = [
+            {**cell,
+             **({"trace": t} if t is not None else {}),
+             **({"policy": p} if p is not None else {})}
+            for cell in cells for t in traces for p in policies
+        ]
+        axes.setdefault("algorithm", ["stream"])
     grid = ScenarioGrid(**axes)
     registries = {
         "family": FAMILIES, "weights": WEIGHT_DISTS,
@@ -254,6 +313,9 @@ def _run_serve(args) -> int:
         max_wait_ms=args.max_wait_ms,
         cache_dir=args.cache_dir,
         npz_root=args.npz_root,
+        cache_max_bytes=args.cache_max_bytes,
+        max_sessions=args.max_sessions,
+        session_ttl=args.session_ttl,
     )
 
     def _ready(host, port):
@@ -263,7 +325,8 @@ def _run_serve(args) -> int:
               file=sys.stderr, flush=True)
 
     try:
-        asyncio.run(serve(service, host=args.host, port=args.port, ready=_ready))
+        asyncio.run(serve(service, host=args.host, port=args.port, ready=_ready,
+                          idle_timeout=args.idle_timeout))
     except KeyboardInterrupt:
         print("serve: interrupted", file=sys.stderr)
     return 0
@@ -277,6 +340,17 @@ def _run_loadgen(args) -> int:
     from .service import canonical_record, run_loadgen
 
     grid, scenarios = _grid_from_args(args, "loadgen")
+    if args.mix is not None:
+        from .service import parse_mix
+
+        try:
+            parse_mix(args.mix)
+        except ValueError as exc:
+            raise SystemExit(f"loadgen: {exc}") from exc
+    if args.churn is not None:
+        if args.churn < 1:
+            raise SystemExit("loadgen: --churn needs at least 1 step")
+        return _run_loadgen_churn(args, scenarios)
     specs = [s.spec() for s in scenarios]
     print(f"loadgen: {len(specs)} scenarios x {args.passes} pass(es), "
           f"{args.connections} connection(s) -> {args.host}:{args.port}", file=sys.stderr)
@@ -284,6 +358,7 @@ def _run_loadgen(args) -> int:
         run_loadgen(
             args.host, args.port, specs,
             connections=args.connections, passes=args.passes, shutdown=args.shutdown,
+            mix=args.mix,
         )
     )
     report, bodies = out["report"], out["bodies"]
@@ -314,14 +389,20 @@ def _run_loadgen(args) -> int:
         workers = 1 if len(scenarios) < 16 else min(4, os.cpu_count() or 1)
         reference = run_sweep(scenarios, workers=workers)
         expected = {r.scenario_id: canonical_record(r.record()) for r in reference}
-        mismatched = [sid for sid, body in expected.items() if bodies.get(sid) != body]
-        if mismatched or set(bodies) != set(expected):
+        if args.mix:
+            # a sampled mix need not cover the whole grid: gate byte-identity
+            # on every scenario that was actually requested
+            mismatched = [sid for sid, body in bodies.items() if expected.get(sid) != body]
+            missing = 0
+        else:
+            mismatched = [sid for sid, body in expected.items() if bodies.get(sid) != body]
+            missing = len(set(bodies) ^ set(expected))
+        if mismatched or missing:
             print(f"loadgen: responses NOT byte-identical to sweep records "
-                  f"({len(mismatched)} mismatched, "
-                  f"{len(set(bodies) ^ set(expected))} missing)", file=sys.stderr)
+                  f"({len(mismatched)} mismatched, {missing} missing)", file=sys.stderr)
             status = 1
         else:
-            print(f"loadgen: all {len(expected)} response bodies byte-identical "
+            print(f"loadgen: all {len(bodies)} response bodies byte-identical "
                   f"to sweep records", file=sys.stderr)
     if args.min_rps is not None:
         best = max((p["throughput_rps"] for p in report["passes"]), default=0.0)
@@ -332,6 +413,66 @@ def _run_loadgen(args) -> int:
         else:
             print(f"loadgen: throughput gate ok ({best} >= {args.min_rps} req/s)",
                   file=sys.stderr)
+    return status
+
+
+def _run_loadgen_churn(args, scenarios) -> int:
+    """Churn mode: replay mutation traces through stateful sessions."""
+    import asyncio
+    import json as _json
+
+    from .service import run_churn
+
+    steps = int(args.churn)
+    specs = []
+    seen = set()
+    for s in scenarios:
+        # every base scenario becomes one streaming session; the trace must
+        # be able to serve the requested number of mutate steps
+        params = dict(s.param_dict)
+        if int(params.get("steps", 0)) < steps:
+            params["steps"] = steps
+        spec = s.with_(algorithm="stream", params=tuple(sorted(params.items()))).spec()
+        key = _json.dumps(spec, sort_keys=True)
+        if key not in seen:  # distinct algorithms collapse onto one session
+            seen.add(key)
+            specs.append(spec)
+    print(f"loadgen: churn mode, {len(specs)} session(s) x {steps} step(s), "
+          f"{args.connections} connection(s) -> {args.host}:{args.port}", file=sys.stderr)
+    out = asyncio.run(
+        run_churn(
+            args.host, args.port, specs,
+            steps=steps, connections=args.connections, shutdown=args.shutdown,
+        )
+    )
+    report, bodies = out["report"], out["bodies"]
+    lat = report["latency"]
+    print(f"  {report['requests']} requests in {report['wall_s']}s "
+          f"= {report['throughput_rps']} req/s "
+          f"(p50 {lat.get('p50_ms')}ms, p99 {lat.get('p99_ms')}ms)", file=sys.stderr)
+    if args.output:
+        out_path = pathlib.Path(args.output)
+        out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(_json.dumps(report, sort_keys=True, indent=2) + "\n")
+        print(f"wrote {out_path}", file=sys.stderr)
+    if args.bodies:
+        bodies_path = pathlib.Path(args.bodies)
+        bodies_path.parent.mkdir(parents=True, exist_ok=True)
+        bodies_path.write_text(_json.dumps(bodies, sort_keys=True, indent=2) + "\n")
+        print(f"wrote {bodies_path}", file=sys.stderr)
+    status = 0
+    if report["errors"]:
+        print(f"loadgen: {len(report['errors'])} session op(s) failed, e.g. "
+              f"{report['errors'][0]['error']}", file=sys.stderr)
+        status = 1
+    if args.min_rps is not None:
+        if report["throughput_rps"] < args.min_rps:
+            print(f"loadgen: {report['throughput_rps']} req/s < required {args.min_rps}",
+                  file=sys.stderr)
+            status = 1
+        else:
+            print(f"loadgen: throughput gate ok ({report['throughput_rps']} >= "
+                  f"{args.min_rps} req/s)", file=sys.stderr)
     return status
 
 

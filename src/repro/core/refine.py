@@ -52,15 +52,24 @@ def pairwise_refine(
     lo_bound: float,
     hi_bound: float,
     max_moves: int | None = None,
+    movable: np.ndarray | None = None,
 ) -> bool:
     """One FM pass moving vertices between classes ``i`` and ``j`` in place.
 
     ``lo_bound``/``hi_bound`` are the global per-class weight limits
     (Definition 1's window around the average); moves violating them are
-    skipped.  Returns True when any move was kept.
+    skipped.  ``movable`` (optional boolean mask) restricts which vertices
+    may change class — the streaming repairer passes the dirty-region halo
+    so a localized perturbation costs localized work — while the weight
+    window is still accounted over the *full* classes, so restricted passes
+    preserve strict balance exactly like unrestricted ones.  Returns True
+    when any move was kept.
     """
     w = np.asarray(weights, dtype=np.float64)
-    members = np.flatnonzero((labels == i) | (labels == j)).astype(np.int64)
+    in_pair = (labels == i) | (labels == j)
+    if movable is not None:
+        in_pair &= movable
+    members = np.flatnonzero(in_pair).astype(np.int64)
     if members.size == 0:
         return False
     cw_i = float(w[labels == i].sum())
@@ -120,7 +129,7 @@ def pairwise_refine(
         s, e = g.indptr[v], g.indptr[v + 1]
         for u in g.nbr[s:e]:
             u = int(u)
-            if not locked[u] and labels[u] in (i, j):
+            if not locked[u] and labels[u] in (i, j) and (movable is None or movable[u]):
                 heapq.heappush(heap, (-gain_of(u), u))
     # rollback past the best strictly-valid prefix; if the input itself was
     # outside the window (shouldn't happen), keep the best effort instead of

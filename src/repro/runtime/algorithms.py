@@ -85,12 +85,26 @@ def _multilevel(inst: Instance, s: Scenario):
     )
 
 
+def _stream(inst: Instance, s: Scenario):
+    """Replay the scenario's mutation trace; returns the *final* coloring.
+
+    Lazy import: :mod:`repro.stream` builds on the runtime registries, so a
+    top-level import here would be circular.  The sweep engine intercepts
+    ``algorithm="stream"`` before this dispatch to evaluate metrics on the
+    final mutated graph (see :func:`repro.runtime.engine.run_scenario`).
+    """
+    from ..stream import stream_coloring
+
+    return stream_coloring(inst, s)
+
+
 ALGORITHMS = {
     "minmax": _minmax,
     "greedy": _greedy,
     "recursive-bisection": _recursive_bisection,
     "kst": _kst,
     "multilevel": _multilevel,
+    "stream": _stream,
 }
 
 

@@ -81,6 +81,21 @@ def run_scenario(scenario: Scenario, cache: InstanceCache | None = None) -> Scen
         from .instances import build_instance
 
         inst = build_instance(scenario)
+    if scenario.algorithm == "stream":
+        # streaming scenarios replay a mutation trace: metrics must be
+        # evaluated on the *final mutated* graph, which only the stream
+        # session knows — so they bypass the static evaluate path
+        from ..stream import run_stream_scenario
+
+        t0 = time.perf_counter()
+        metrics = run_stream_scenario(inst, scenario)
+        wall = time.perf_counter() - t0
+        return ScenarioResult(
+            scenario=scenario,
+            instance=_instance_stats(inst),
+            metrics=metrics,
+            wall_clock_s=wall,
+        )
     t0 = time.perf_counter()
     coloring = run_algorithm(inst, scenario)
     wall = time.perf_counter() - t0

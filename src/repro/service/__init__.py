@@ -3,31 +3,44 @@
 An asyncio front-end (:mod:`.server`) accepts decomposition requests over a
 JSON-lines TCP protocol (:mod:`.protocol`), coalesces them in a micro-batcher
 (:mod:`.batcher`), answers repeats from a bounded LRU record cache
-(:mod:`.cache`), and fans misses across persistent process shards routed by
-instance content hash (:mod:`.shards`).  Responses reuse the sweep engine's
-scenario/record machinery, so a service answer is byte-identical to the
-``repro sweep`` record for the same scenario.
+(:mod:`.cache` — entry-count and optionally byte-weighted), and fans misses
+across persistent process shards routed by instance content hash
+(:mod:`.shards`).  Responses reuse the sweep engine's scenario/record
+machinery, so a service answer is byte-identical to the ``repro sweep``
+record for the same scenario.
+
+Streaming sessions (:mod:`.sessions`) make the service stateful on demand:
+``open_stream``/``mutate``/``snapshot``/``close_stream`` requests drive a
+:class:`~repro.stream.StreamSession` living inside the shard that owns the
+scenario's instance hash, with snapshots byte-identical across shard
+counts.  Long-lived clients are kept honest by ``serve --idle-timeout``
+(``ping`` is the heartbeat).
 
 Quick use::
 
     PYTHONPATH=src python -m repro serve --port 8642 --shards 4
     PYTHONPATH=src python -m repro loadgen --port 8642 --preset smoke \
         --connections 16 -o benchmarks/out/serve_smoke.json
+    PYTHONPATH=src python -m repro loadgen --port 8642 --preset stream \
+        --churn 5 --bodies churn_bodies.json
 
-:mod:`.loadgen` is the matching client/load generator.
+:mod:`.loadgen` is the matching client/load generator (grid replay, zipf
+mixes, churn mode).
 """
 
 from .batcher import MicroBatcher
 from .cache import ColoringCache
-from .loadgen import ServiceClient, latency_summary, run_loadgen
+from .loadgen import ServiceClient, latency_summary, parse_mix, run_churn, run_loadgen
 from .protocol import (
     CONTROL_OPS,
     PROTOCOL_VERSION,
+    STREAM_OPS,
     ProtocolError,
     canonical_record,
     encode,
     parse_request,
     scenario_from_spec,
+    stream_request_fields,
 )
 from .server import DecompositionService, ServiceError, serve
 from .shards import ShardPool
@@ -35,6 +48,7 @@ from .shards import ShardPool
 __all__ = [
     "CONTROL_OPS",
     "PROTOCOL_VERSION",
+    "STREAM_OPS",
     "ColoringCache",
     "DecompositionService",
     "MicroBatcher",
@@ -45,8 +59,11 @@ __all__ = [
     "canonical_record",
     "encode",
     "latency_summary",
+    "parse_mix",
     "parse_request",
+    "run_churn",
     "run_loadgen",
     "scenario_from_spec",
     "serve",
+    "stream_request_fields",
 ]

@@ -10,22 +10,30 @@ This is the layer that makes warm traffic cheap: the shards' per-process
 :class:`~repro.runtime.InstanceCache` only skips instance *generation*,
 while this cache skips the decomposition itself.  Storage and eviction
 delegate to the repo's one LRU primitive, :class:`repro._util.BoundedLru`.
+
+With ``max_bytes`` set the cache is additionally *cost-aware*: entries are
+weighed by their canonical wire size, so one size-48 minmax record occupies
+six times the budget of a size-8 greedy record and cannot be flushed out by
+a flood of cheap entries any faster than that share implies.
 """
 
 from __future__ import annotations
 
 from .._util import BoundedLru
+from .protocol import canonical_record
 
 __all__ = ["ColoringCache"]
 
 
 class ColoringCache:
-    """LRU mapping ``scenario_id -> result record`` with a hard entry bound."""
+    """LRU mapping ``scenario_id -> result record``, bounded by entry count
+    and (optionally) by total canonical-record bytes."""
 
-    def __init__(self, maxsize: int = 1024):
+    def __init__(self, maxsize: int = 1024, max_bytes: int | None = None):
         self.hits = 0
         self.misses = 0
-        self._entries = BoundedLru(maxsize=int(maxsize))
+        self.max_bytes = int(max_bytes) if max_bytes is not None else None
+        self._entries = BoundedLru(maxsize=int(maxsize), max_weight=self.max_bytes)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -50,13 +58,23 @@ class ColoringCache:
         return record
 
     def put(self, key: str, record: dict) -> None:
-        self._entries.put(key, record)
+        if self.max_bytes is None:
+            self._entries.put(key, record)
+        else:
+            # weigh by the canonical wire size — exactly the bytes a cache
+            # hit saves recomputing and re-serializing
+            self._entries.put(key, record, weight=len(canonical_record(record).encode()))
 
     def stats(self) -> dict:
-        return {
+        out = {
             "entries": len(self._entries),
             "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
         }
+        if self.max_bytes is not None:
+            out["bytes"] = int(self._entries.weight)
+            out["max_bytes"] = self.max_bytes
+            out["rejected"] = self._entries.rejected
+        return out

@@ -4,11 +4,18 @@
 connections for P passes (pass 1 is the cold-cache pass; later passes
 measure the warm path), collects per-request latencies client-side, and
 returns a throughput/latency report plus the canonical response bodies.
+With ``mix="zipf:<s>"`` each pass samples the grid non-uniformly (zipf over
+grid order) instead of replaying it once, so cache hit rates under the
+report reflect production-style skew rather than grid uniformity.
 
-The bodies map (``scenario_id -> canonical record JSON``) is fully
-deterministic — it is what CI compares across ``--shards 1`` and
-``--shards 4`` servers — while the report carries the volatile numbers
-(req/s, percentiles) and belongs in ``benchmarks/out/``.
+``run_churn`` is the streaming counterpart: one stateful session per
+scenario (``open_stream``), ``steps`` mutate requests each followed by a
+``snapshot``, then ``close_stream`` — the canonical snapshot bodies keyed
+by ``session@step`` are the cross-shard byte-identity currency.
+
+The bodies maps are fully deterministic — they are what CI compares across
+``--shards 1`` and ``--shards 4`` servers — while the report carries the
+volatile numbers (req/s, percentiles) and belongs in ``benchmarks/out/``.
 """
 
 from __future__ import annotations
@@ -18,9 +25,11 @@ import json
 import math
 import time
 
+import numpy as np
+
 from .protocol import ProtocolError, canonical_record, encode
 
-__all__ = ["ServiceClient", "run_loadgen", "latency_summary"]
+__all__ = ["ServiceClient", "run_loadgen", "run_churn", "latency_summary", "parse_mix"]
 
 
 class ServiceClient:
@@ -52,6 +61,23 @@ class ServiceClient:
 
     async def decompose(self, spec: dict) -> dict:
         return await self.call({"scenario": spec})
+
+    async def open_stream(self, session: str, spec: dict) -> dict:
+        return await self.call({"op": "open_stream", "session": session, "scenario": spec})
+
+    async def mutate(self, session: str, steps: int = 1, mutations: list | None = None) -> dict:
+        req = {"op": "mutate", "session": session}
+        if mutations is not None:
+            req["mutations"] = mutations
+        else:
+            req["steps"] = steps
+        return await self.call(req)
+
+    async def snapshot(self, session: str) -> dict:
+        return await self.call({"op": "snapshot", "session": session})
+
+    async def close_stream(self, session: str) -> dict:
+        return await self.call({"op": "close_stream", "session": session})
 
     async def ping(self) -> dict:
         return await self.call({"op": "ping"})
@@ -91,6 +117,37 @@ def latency_summary(latencies_s: list[float]) -> dict:
     }
 
 
+def parse_mix(mix: str | None) -> dict | None:
+    """Parse a ``--mix`` spec (currently ``zipf:<s>``, e.g. ``zipf:1.1``)."""
+    if mix is None:
+        return None
+    kind, _, rest = str(mix).partition(":")
+    if kind != "zipf":
+        raise ValueError(f"unknown mix {mix!r} (have zipf:<s>)")
+    try:
+        s = float(rest) if rest else 1.1
+    except ValueError as exc:
+        raise ValueError(f"bad zipf exponent in {mix!r}") from exc
+    if s <= 0:
+        raise ValueError("zipf exponent must be > 0")
+    return {"kind": "zipf", "s": s}
+
+
+def _mixed_schedule(specs: list[dict], mix: dict, pass_no: int) -> list[dict]:
+    """One pass's request sequence under a non-uniform scenario mix.
+
+    Zipf-over-grid-order: scenario ``i`` gets probability ``∝ (i+1)^-s``.
+    Deterministically seeded per pass, so a report is reproducible given
+    the same grid and mix.
+    """
+    ranks = np.arange(1, len(specs) + 1, dtype=np.float64)
+    probs = ranks ** -float(mix["s"])
+    probs /= probs.sum()
+    rng = np.random.default_rng(0xC0FFEE + pass_no)
+    picks = rng.choice(len(specs), size=len(specs), p=probs)
+    return [specs[int(i)] for i in picks]
+
+
 async def run_loadgen(
     host: str,
     port: int,
@@ -98,6 +155,7 @@ async def run_loadgen(
     connections: int = 8,
     passes: int = 2,
     shutdown: bool = False,
+    mix: str | None = None,
 ) -> dict:
     """Fire ``specs`` at the server ``passes`` times over ``connections``.
 
@@ -105,8 +163,10 @@ async def run_loadgen(
     latency report, and the deterministic ``scenario_id -> canonical body``
     map accumulated across all passes (a body mismatch between passes —
     cached vs computed — raises, so the loadgen doubles as a cache-coherence
-    check).
+    check).  ``mix`` switches from replaying the grid uniformly to sampling
+    it (see :func:`parse_mix`); the mix is recorded in the report.
     """
+    mix_info = parse_mix(mix)
     connections = max(1, min(int(connections), len(specs) or 1))
     clients = await asyncio.gather(
         *(ServiceClient.connect(host, port) for _ in range(connections))
@@ -116,7 +176,10 @@ async def run_loadgen(
     pass_reports = []
     try:
         for pass_no in range(1, int(passes) + 1):
-            next_spec = iter(enumerate(specs))
+            schedule = (
+                _mixed_schedule(specs, mix_info, pass_no) if mix_info else specs
+            )
+            next_spec = iter(enumerate(schedule))
             latencies: list[float] = []
 
             async def worker(client):
@@ -156,6 +219,96 @@ async def run_loadgen(
         "connections": connections,
         "passes": pass_reports,
         "unique_scenarios": len(bodies),
+        "errors": errors,
+        "server_stats": server_stats.get("stats", {}),
+    }
+    if mix_info is not None:
+        report["mix"] = {**mix_info, "grid_size": len(specs)}
+    return {"report": report, "bodies": dict(sorted(bodies.items()))}
+
+
+async def run_churn(
+    host: str,
+    port: int,
+    specs: list[dict],
+    steps: int = 8,
+    connections: int = 8,
+    shutdown: bool = False,
+) -> dict:
+    """Replay mutation traces through stateful sessions, one per scenario.
+
+    Each spec (must be an ``algorithm="stream"`` scenario whose params
+    include a ``steps`` budget >= ``steps``) becomes one session: open,
+    then ``steps`` single-step mutates each followed by a snapshot, then
+    close.  Sessions are dealt round-robin across ``connections``; requests
+    within a session are sequential (they would serialize server-side
+    anyway — per-session ordering is the contract).
+
+    Returns ``{"report", "bodies"}`` where bodies maps ``session@step`` (and
+    ``session@open`` / ``session@close``) to canonical snapshot JSON —
+    deterministic, so CI diffs it across shard counts.
+    """
+    connections = max(1, min(int(connections), len(specs) or 1))
+    clients = await asyncio.gather(
+        *(ServiceClient.connect(host, port) for _ in range(connections))
+    )
+    bodies: dict[str, str] = {}
+    errors: list[dict] = []
+    latencies: list[float] = []
+
+    async def drive(client: ServiceClient, spec: dict, index: int) -> None:
+        sid = f"churn-{index}"
+        t0 = time.perf_counter()
+        opened = await client.open_stream(sid, spec)
+        latencies.append(time.perf_counter() - t0)
+        if not opened.get("ok"):
+            errors.append({"session": sid, "op": "open", "error": opened.get("error")})
+            return
+        bodies[f"{sid}@open"] = canonical_record(opened["snapshot"])
+        for step in range(1, int(steps) + 1):
+            t0 = time.perf_counter()
+            mutated = await client.mutate(sid, steps=1)
+            latencies.append(time.perf_counter() - t0)
+            if not mutated.get("ok"):
+                errors.append(
+                    {"session": sid, "op": f"mutate@{step}", "error": mutated.get("error")}
+                )
+                return
+            snap = await client.snapshot(sid)
+            if not snap.get("ok"):
+                errors.append(
+                    {"session": sid, "op": f"snapshot@{step}", "error": snap.get("error")}
+                )
+                return
+            bodies[f"{sid}@{step}"] = canonical_record(snap["snapshot"])
+        closed = await client.close_stream(sid)
+        if not closed.get("ok"):
+            errors.append({"session": sid, "op": "close", "error": closed.get("error")})
+            return
+        bodies[f"{sid}@close"] = canonical_record(closed["snapshot"])
+
+    async def worker(conn_index: int) -> None:
+        for index in range(conn_index, len(specs), connections):
+            await drive(clients[conn_index], specs[index], index)
+
+    t0 = time.perf_counter()
+    try:
+        await asyncio.gather(*(worker(c) for c in range(connections)))
+        wall = time.perf_counter() - t0
+        server_stats = await clients[0].stats()
+        if shutdown:
+            await clients[0].shutdown()
+    finally:
+        await asyncio.gather(*(c.close() for c in clients), return_exceptions=True)
+    report = {
+        "mode": "churn",
+        "sessions": len(specs),
+        "steps": int(steps),
+        "connections": connections,
+        "requests": len(latencies),
+        "wall_s": round(wall, 4),
+        "throughput_rps": round(len(latencies) / wall, 1) if wall > 0 else 0.0,
+        "latency": latency_summary(latencies),
         "errors": errors,
         "server_stats": server_stats.get("stats", {}),
     }

@@ -17,8 +17,25 @@ element of a ``repro sweep`` results file's ``results`` list; serialized
 through :func:`canonical_record` it is byte-identical to the sweep output
 for the same scenario, whatever the shard count or batching order.
 
-*Control requests* use ``op`` instead of ``scenario``: ``ping`` (liveness),
-``stats`` (cache/batcher/shard counters), ``shutdown`` (graceful stop).
+*Control requests* use ``op`` instead of ``scenario``: ``ping`` (liveness —
+doubling as the keep-alive heartbeat under ``--idle-timeout``), ``stats``
+(cache/batcher/shard counters), ``shutdown`` (graceful stop).
+
+*Stream requests* (``op`` + ``session``) drive stateful streaming sessions::
+
+    {"id": 1, "op": "open_stream", "session": "s1",
+     "scenario": {"family": "grid", "size": 12, "k": 4,
+                  "params": {"trace": "random-churn", "steps": 8}}}
+    {"id": 2, "op": "mutate", "session": "s1", "steps": 2}
+    {"id": 3, "op": "mutate", "session": "s1",
+     "mutations": [["cost", 0, 1, 2.5], ["weight", 7, 3.0]]}
+    {"id": 4, "op": "snapshot", "session": "s1"}
+    {"id": 5, "op": "close_stream", "session": "s1"}
+
+``open_stream`` scenarios implicitly use ``algorithm="stream"``; every
+request for a session is served by the shard that opened it.  Snapshot
+bodies are deterministic (no volatile fields), so the same session driven
+by the same mutations is byte-identical across shard counts.
 
 Responses deliberately contain **no** volatile fields (no shard id, no
 timing, no cache flag) so response bodies can be compared byte-for-byte
@@ -34,16 +51,23 @@ from ..runtime import ALGORITHMS, COST_DISTS, FAMILIES, WEIGHT_DISTS, Scenario
 __all__ = [
     "PROTOCOL_VERSION",
     "CONTROL_OPS",
+    "STREAM_OPS",
     "ProtocolError",
     "scenario_from_spec",
+    "stream_request_fields",
     "parse_request",
     "encode",
     "canonical_record",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 CONTROL_OPS = ("ping", "stats", "shutdown")
+
+STREAM_OPS = ("open_stream", "mutate", "snapshot", "close_stream")
+
+#: hard cap on client-chosen session ids — they are dict keys server-side
+_MAX_SESSION_ID = 128
 
 #: scenario-spec keys accepted from the wire (``oracle`` is sugar that is
 #: folded into ``params`` so specs match what ``repro sweep`` records).
@@ -121,7 +145,7 @@ def scenario_from_spec(spec) -> Scenario:
 
 
 def parse_request(line: bytes) -> dict:
-    """Decode one request line into ``{"id", "op"?, "scenario"?}``."""
+    """Decode one request line into ``{"id", "op"?, "scenario"?, ...}``."""
     try:
         req = json.loads(line)
     except (ValueError, UnicodeDecodeError) as exc:
@@ -129,11 +153,50 @@ def parse_request(line: bytes) -> dict:
     if not isinstance(req, dict):
         raise ProtocolError("request must be a JSON object")
     op = req.get("op")
-    if op is not None and op not in CONTROL_OPS:
-        raise ProtocolError(f"unknown op {op!r} (have {', '.join(CONTROL_OPS)})")
+    if op is not None and op not in CONTROL_OPS + STREAM_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (have {', '.join(CONTROL_OPS + STREAM_OPS)})"
+        )
     if op is None and "scenario" not in req:
         raise ProtocolError("request needs a 'scenario' (or an 'op')")
     return req
+
+
+def stream_request_fields(req: dict) -> dict:
+    """Validate a stream request's fields; returns the normalized payload.
+
+    Like :func:`scenario_from_spec`, validation runs on the event loop
+    before anything reaches a shard, so malformed stream requests are
+    rejected without burning a worker round-trip — and the session id is
+    length-capped because the server keys routing state by it.
+    """
+    op = req.get("op")
+    sid = req.get("session")
+    if not isinstance(sid, str) or not sid:
+        raise ProtocolError(f"{op} needs a non-empty string 'session'")
+    if len(sid) > _MAX_SESSION_ID:
+        raise ProtocolError(f"session id longer than {_MAX_SESSION_ID} characters")
+    out = {"session": sid}
+    if op == "open_stream":
+        spec = req.get("scenario")
+        if not isinstance(spec, dict):
+            raise ProtocolError("open_stream needs a 'scenario' object")
+        spec = dict(spec)
+        if spec.setdefault("algorithm", "stream") != "stream":
+            raise ProtocolError("open_stream scenarios must use algorithm 'stream'")
+        out["scenario"] = scenario_from_spec(spec)
+    elif op == "mutate":
+        if "mutations" in req:
+            muts = req["mutations"]
+            if not isinstance(muts, list) or not muts:
+                raise ProtocolError("'mutations' must be a non-empty list")
+            out["mutations"] = muts
+        else:
+            steps = _as_int(req.get("steps", 1), "steps")
+            if steps < 1:
+                raise ProtocolError("steps must be >= 1")
+            out["steps"] = steps
+    return out
 
 
 def encode(obj: dict) -> bytes:

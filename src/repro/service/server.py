@@ -27,7 +27,15 @@ from collections import defaultdict
 
 from .batcher import MicroBatcher
 from .cache import ColoringCache
-from .protocol import PROTOCOL_VERSION, ProtocolError, encode, parse_request, scenario_from_spec
+from .protocol import (
+    PROTOCOL_VERSION,
+    STREAM_OPS,
+    ProtocolError,
+    encode,
+    parse_request,
+    scenario_from_spec,
+    stream_request_fields,
+)
 from .shards import ShardPool
 
 __all__ = ["DecompositionService", "ServiceError", "serve"]
@@ -48,9 +56,27 @@ class DecompositionService:
         max_wait_ms: float = 2.0,
         cache_dir=None,
         npz_root=None,
+        cache_max_bytes: int | None = None,
+        max_sessions: int = 64,
+        session_ttl: float = 900.0,
     ):
-        self.cache = ColoringCache(maxsize=cache_size)
+        self.cache = ColoringCache(maxsize=cache_size, max_bytes=cache_max_bytes)
         self.pool = ShardPool(shards=shards, cache_dir=cache_dir)
+        #: streaming sessions: id -> {"shard": owner, "lock": per-session
+        #: ordering lock, "last_used": loop time}.  The shard is pinned at
+        #: open time (instance-hash routing), so a session's state stays
+        #: inside one worker for life.
+        self._sessions: dict[str, dict] = {}
+        self.max_sessions = int(max_sessions)
+        #: sessions idle longer than this (seconds) are expirable — a client
+        #: that vanished without close_stream must not hold its slot and its
+        #: worker-side state forever.  Expiry is enforced lazily when the
+        #: session limit is hit, so no background task is needed.
+        self.session_ttl = float(session_ttl) if session_ttl else None
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.sessions_lost = 0
+        self.sessions_expired = 0
         #: directory npz refs are confined to; None disables them entirely —
         #: a remote peer must not get to open arbitrary server-side paths
         self.npz_root = pathlib.Path(npz_root).resolve() if npz_root is not None else None
@@ -118,6 +144,93 @@ class DecompositionService:
 
         await asyncio.gather(*(run_group(s, items) for s, items in groups.items()))
 
+    async def stream_request(self, op: str, req: dict) -> dict:
+        """Resolve one streaming-session request against the owning shard.
+
+        Per-session ordering: every op for a session serializes behind its
+        ``asyncio.Lock``, so pipelined mutates from a client apply in arrival
+        order — which is what makes the snapshot determinism contract (same
+        mutation sequence => same bytes) meaningful over a pipelined wire.
+        """
+        fields = stream_request_fields(req)
+        sid = fields["session"]
+        if op == "open_stream":
+            if sid in self._sessions:
+                raise ProtocolError(f"session {sid!r} already exists")
+            if len(self._sessions) >= self.max_sessions:
+                await self._expire_idle_sessions()
+            if len(self._sessions) >= self.max_sessions:
+                raise ProtocolError(f"session limit reached ({self.max_sessions})")
+            scenario = fields["scenario"]
+            self._authorize(scenario)
+            shard = self.pool.shard_for(scenario)
+            # reserve synchronously (no await between check and set), so a
+            # concurrent duplicate open fails fast instead of double-opening
+            entry = {
+                "shard": shard,
+                "lock": asyncio.Lock(),
+                "last_used": asyncio.get_running_loop().time(),
+            }
+            self._sessions[sid] = entry
+            async with entry["lock"]:
+                outcome = await self.pool.submit_session(
+                    shard, {"op": "open", "session": sid, "scenario": scenario}
+                )
+            if not outcome.get("ok"):
+                self._sessions.pop(sid, None)
+                raise ServiceError(outcome.get("error", "open failed"))
+            self.sessions_opened += 1
+            return {"ok": True, "session": sid, "snapshot": outcome["snapshot"]}
+        entry = self._sessions.get(sid)
+        if entry is None:
+            raise ProtocolError(f"unknown session {sid!r}")
+        payload = {"session": sid, **{k: v for k, v in fields.items() if k != "session"}}
+        payload["op"] = {"mutate": "mutate", "snapshot": "snapshot", "close_stream": "close"}[op]
+        async with entry["lock"]:
+            outcome = await self.pool.submit_session(entry["shard"], payload)
+        entry["last_used"] = asyncio.get_running_loop().time()
+        if outcome.get("session_lost") or outcome.get("unknown_session"):
+            # the worker no longer holds the state (executor break, or a
+            # respawned process with an empty registry): keeping the routing
+            # entry would zombie the session — drop it so the id can be
+            # reopened
+            self._sessions.pop(sid, None)
+            self.sessions_lost += 1
+            raise ServiceError(outcome.get("error", "session lost"))
+        if not outcome.get("ok"):
+            raise ServiceError(outcome.get("error", "session op failed"))
+        if op == "close_stream":
+            self._sessions.pop(sid, None)
+            self.sessions_closed += 1
+        return {"ok": True, "session": sid,
+                **{k: v for k, v in outcome.items() if k != "ok"}}
+
+    async def _expire_idle_sessions(self) -> None:
+        """Close sessions idle beyond ``session_ttl`` to free their slots.
+
+        Sessions deliberately outlive TCP connections (a streaming client
+        may reconnect and continue), so connection reaping cannot free them;
+        the TTL is what stops an abandoned session from holding a
+        ``max_sessions`` slot and its worker-side state forever.
+        """
+        if self.session_ttl is None:
+            return
+        now = asyncio.get_running_loop().time()
+        expired = [
+            sid for sid, entry in self._sessions.items()
+            if now - entry["last_used"] > self.session_ttl
+        ]
+        for sid in expired:
+            entry = self._sessions.get(sid)
+            if entry is None:
+                continue
+            async with entry["lock"]:
+                await self.pool.submit_session(
+                    entry["shard"], {"op": "close", "session": sid}
+                )
+            self._sessions.pop(sid, None)
+            self.sessions_expired += 1
+
     def stats(self) -> dict:
         return {
             "protocol_version": PROTOCOL_VERSION,
@@ -127,6 +240,14 @@ class DecompositionService:
             "cache": self.cache.stats(),
             "batcher": self.batcher.stats(),
             "shards": self.pool.stats(),
+            "sessions": {
+                "open": len(self._sessions),
+                "max": self.max_sessions,
+                "opened": self.sessions_opened,
+                "closed": self.sessions_closed,
+                "lost": self.sessions_lost,
+                "expired": self.sessions_expired,
+            },
         }
 
     async def close(self) -> None:
@@ -145,6 +266,9 @@ async def _handle_request(service: DecompositionService, req: dict, stop: asynci
         stop.set()
         return {"id": rid, "ok": True, "stopping": True}
     try:
+        if op in STREAM_OPS:
+            out = await service.stream_request(op, req)
+            return {"id": rid, **out}
         scenario = scenario_from_spec(req.get("scenario"))
         record = await service.submit(scenario)
     except (ProtocolError, ServiceError) as exc:
@@ -160,12 +284,20 @@ async def serve(
     host: str = "127.0.0.1",
     port: int = 8642,
     ready=None,
+    idle_timeout: float | None = None,
 ) -> None:
     """Run the TCP front-end until a ``shutdown`` request (or cancellation).
 
     ``ready`` is an optional callback invoked with the bound ``(host, port)``
     once the socket is listening — tests and ``repro serve`` use it to learn
     the ephemeral port when ``port=0``.
+
+    ``idle_timeout`` (seconds) reaps connections with no traffic: a client
+    that neither sends a request nor has one in flight for that long is
+    disconnected.  In-flight responses always complete first (the reap path
+    is the normal connection teardown, which drains pipelined responders),
+    and any request — ``ping`` is the designated no-op — resets the clock,
+    so long-lived streaming clients stay alive by heartbeating.
     """
     stop = asyncio.Event()
     connections: set[asyncio.Task] = set()
@@ -189,7 +321,17 @@ async def serve(
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    if idle_timeout is not None:
+                        try:
+                            line = await asyncio.wait_for(reader.readline(), idle_timeout)
+                        except asyncio.TimeoutError:
+                            if tasks:
+                                # a request is still computing: the client is
+                                # waiting on us, not idle — keep the line open
+                                continue
+                            break  # reap: fall through to the drain/close path
+                    else:
+                        line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
                     # line exceeded the stream limit; the buffer is no longer
                     # line-aligned, so answer once and drop the connection —

@@ -1,0 +1,109 @@
+"""Worker-side registry for stateful streaming sessions.
+
+A :class:`~repro.stream.StreamSession` lives its whole life inside **one**
+shard worker process: the server routes every request for a session to the
+shard that opened it (by the scenario's instance hash, the same routing the
+batch path uses), so session state never crosses a process boundary and no
+cross-shard coordination exists to break determinism.
+
+``session_call`` is the single executor entry point — a plain top-level
+function taking one picklable payload dict and returning one JSON-ready
+outcome dict, mirroring :func:`~repro.service.shards.shard_run` for batches.
+The registry is a module global: each worker process (or the inline worker
+thread when ``shards=0``) holds exactly the sessions routed to it.
+"""
+
+from __future__ import annotations
+
+from ..stream import StreamSession
+
+__all__ = ["session_call", "open_session_count", "drop_namespace"]
+
+#: session id -> live session, per worker process.  Ids arrive prefixed
+#: with the owning pool's namespace (see ``ShardPool.submit_session``), so
+#: two pools in one process — the inline ``shards=0`` mode — cannot collide.
+_SESSIONS: dict[str, StreamSession] = {}
+
+
+def open_session_count() -> int:
+    """Number of sessions alive in *this* process (test/debug hook)."""
+    return len(_SESSIONS)
+
+
+def drop_namespace(namespace: str) -> int:
+    """Drop every session of one pool namespace (inline-pool teardown)."""
+    doomed = [sid for sid in _SESSIONS if sid.startswith(namespace + ":")]
+    for sid in doomed:
+        del _SESSIONS[sid]
+    return len(doomed)
+
+
+def _instance_for(scenario):
+    """Build the base instance, through the worker's cache when installed."""
+    from ..runtime import engine
+
+    if engine._WORKER_CACHE is not None:
+        return engine._WORKER_CACHE.get(scenario)
+    from ..runtime.instances import build_instance
+
+    return build_instance(scenario)
+
+
+def session_call(payload: dict) -> dict:
+    """Execute one session operation inside the owning worker.
+
+    Payload shapes (``session`` is always present)::
+
+        {"op": "open", "session": id, "scenario": Scenario}
+        {"op": "mutate", "session": id, "steps": n}
+        {"op": "mutate", "session": id, "mutations": [wire, ...]}
+        {"op": "snapshot", "session": id}
+        {"op": "close", "session": id}
+
+    Every outcome is ``{"ok": True, ...}`` or ``{"ok": False, "error": ...}``;
+    exceptions never cross the executor boundary raw, so one bad mutation
+    cannot poison the worker.
+    """
+    try:
+        op = payload["op"]
+        sid = payload["session"]
+        if op == "open":
+            if sid in _SESSIONS:
+                return {"ok": False, "error": f"session {sid!r} already exists"}
+            scenario = payload["scenario"]
+            session = StreamSession(_instance_for(scenario), scenario)
+            _SESSIONS[sid] = session
+            return {"ok": True, "opened": True, "snapshot": session.snapshot()}
+        session = _SESSIONS.get(sid)
+        if session is None:
+            # unknown_session lets the server distinguish "this worker lost
+            # its state" (respawn after a crash) from ordinary bad requests,
+            # which the server already rejects before routing here
+            return {"ok": False, "unknown_session": True,
+                    "error": f"unknown session {sid!r}"}
+        if op == "mutate":
+            if "mutations" in payload:
+                results = [session.apply_mutations(payload["mutations"])]
+            else:
+                steps = int(payload.get("steps", 1))
+                if steps > session.trace_remaining:
+                    # refuse atomically: applying a prefix and then failing
+                    # would silently desync a replaying client's accounting
+                    return {"ok": False, "error":
+                            f"trace exhausted: {session.trace_remaining} step(s) "
+                            f"remaining, {steps} requested"}
+                results = [session.step() for _ in range(steps)]
+            return {"ok": True, "results": results}
+        if op == "snapshot":
+            return {"ok": True, "snapshot": session.snapshot()}
+        if op == "close":
+            del _SESSIONS[sid]
+            return {
+                "ok": True,
+                "closed": True,
+                "counters": session.counters(),
+                "snapshot": session.snapshot(),
+            }
+        return {"ok": False, "error": f"unknown session op {op!r}"}
+    except Exception as exc:  # noqa: BLE001 — the wire carries the reason
+        return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}

@@ -15,6 +15,8 @@ the inline ``shards=0`` debug mode — produces byte-identical records.
 from __future__ import annotations
 
 import asyncio
+import itertools
+import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
@@ -22,6 +24,11 @@ from ..runtime import InstanceCache, Scenario
 from ..runtime.engine import run_scenario, worker_init, worker_run_record
 
 __all__ = ["ShardPool", "shard_run"]
+
+#: distinguishes pools within one process — the inline (``shards=0``) mode
+#: shares the worker-side session registry with every other inline pool in
+#: the process, so session keys must be namespaced per pool
+_POOL_SEQ = itertools.count()
 
 
 def shard_run(scenarios: list[Scenario], run=None) -> list[dict]:
@@ -62,6 +69,8 @@ class ShardPool:
         self.batches = 0
         self.requests = 0
         self.respawns = 0
+        self.session_ops = 0
+        self._session_ns = f"{os.getpid()}.{next(_POOL_SEQ)}"
         if self.shards == 0:
             self._executors = [ThreadPoolExecutor(max_workers=1)]
             cache = InstanceCache(directory=cache_dir, max_entries=instance_cache_entries)
@@ -90,6 +99,31 @@ class ShardPool:
     def shard_for(self, scenario: Scenario) -> int:
         """Stable instance-hash routing: same instance -> same shard."""
         return int(scenario.instance_hash(), 16) % self.nshards
+
+    async def submit_session(self, shard: int, payload: dict) -> dict:
+        """Run one streaming-session operation on ``shard``.
+
+        Session state lives only in the worker, so a dead worker cannot be
+        retried like a stateless batch: the executor is respawned (future
+        work gets a healthy shard) and the *caller* gets a session-lost
+        error to surface — replaying the mutation log is the client's
+        prerogative, not the pool's.
+        """
+        from .sessions import session_call
+
+        self.session_ops += 1
+        loop = asyncio.get_running_loop()
+        executor = self._executors[shard]
+        payload = {**payload, "session": f"{self._session_ns}:{payload['session']}"}
+        try:
+            return await loop.run_in_executor(executor, session_call, payload)
+        except BrokenProcessPool:
+            self._respawn(shard, executor)
+            return {
+                "ok": False,
+                "session_lost": True,
+                "error": "session lost: worker process died",
+            }
 
     async def submit_batch(self, shard: int, scenarios: list[Scenario]) -> list[dict]:
         """Run one batch on ``shard``; returns per-scenario ok/error dicts.
@@ -130,6 +164,7 @@ class ShardPool:
             "batches": self.batches,
             "requests": self.requests,
             "respawns": self.respawns,
+            "session_ops": self.session_ops,
         }
 
     def close(self) -> None:
@@ -138,3 +173,8 @@ class ShardPool:
         # against interpreter teardown (noisy "Bad file descriptor" atexit)
         for executor in self._executors:
             executor.shutdown(wait=True, cancel_futures=True)
+        # inline pools share this process's session registry: free our
+        # namespace (process shards take their registries down with them)
+        from .sessions import drop_namespace
+
+        drop_namespace(self._session_ns)

@@ -1,0 +1,47 @@
+"""Streaming decomposition subsystem.
+
+Maintains a min-max boundary decomposition *incrementally* while the
+underlying weighted graph mutates — the adaptive-computation workload the
+paper's introduction motivates, where remeshing steps change couplings and
+cell loads between load-balancing rounds.
+
+Layers:
+
+* :mod:`.mutations` — the mutation log: :class:`Mutation` batches applied
+  to a versioned mutable :class:`GraphState` with structural-hash identity.
+* :mod:`.traces` — deterministic churn workload generators
+  (:data:`TRACES`: random churn, sliding window, hotspot growth/decay,
+  adversarial cut-crossing churn).
+* :mod:`.repair` — the incremental repairer: greedy strict-window
+  restoration, dirty-region-seeded FM refinement, and the Träff–Wimmer-style
+  :func:`cheap_lower_bound` the drift monitor checks repairs against.
+* :mod:`.session` — :class:`StreamSession` (trace replay + policy + audit
+  snapshots) and the sweep-engine entry points.
+
+Streaming scenarios use ``algorithm="stream"`` in the ordinary scenario
+grid, so ``repro sweep`` grids over trace kinds × repair policies like any
+other axis, and the service exposes sessions through
+``open_stream``/``mutate``/``snapshot``/``close_stream`` requests.
+"""
+
+from .mutations import DirtyRegion, GraphState, Mutation, MutationError
+from .repair import cheap_lower_bound, local_repair, restore_window, strict_window
+from .session import POLICIES, StreamSession, run_stream_scenario, stream_coloring
+from .traces import TRACES, make_trace
+
+__all__ = [
+    "POLICIES",
+    "TRACES",
+    "DirtyRegion",
+    "GraphState",
+    "Mutation",
+    "MutationError",
+    "StreamSession",
+    "cheap_lower_bound",
+    "local_repair",
+    "make_trace",
+    "restore_window",
+    "run_stream_scenario",
+    "stream_coloring",
+    "strict_window",
+]

@@ -1,0 +1,268 @@
+"""Mutation log and mutable graph state for the streaming subsystem.
+
+:class:`Graph` is deliberately immutable (the hot paths are CSR-vectorized),
+so the streaming layer keeps its own mutable source of truth — a
+:class:`GraphState` holding the live edge set, edge costs, and vertex
+weights — and materializes an immutable :class:`Graph` per *version*.  The
+vertex set is fixed at construction: mutations insert/delete edges and
+update edge costs or vertex weights, which is the adaptive-refinement
+workload the paper motivates (remeshing changes couplings and cell loads,
+not the index space).
+
+Every applied batch bumps an integer ``version`` and invalidates the cached
+graph; :meth:`GraphState.structural_hash` is a content hash of the full
+live state (edges, costs, weights), so two replicas that applied the same
+mutation log agree on the hash byte-for-byte — the versioning primitive the
+service's snapshot byte-identity contract is built on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.graph import Graph
+
+__all__ = ["Mutation", "MutationError", "GraphState", "DirtyRegion"]
+
+#: mutation kinds and their wire arity (excluding the kind tag)
+_KINDS = {"add": 3, "remove": 2, "cost": 3, "weight": 2}
+
+
+class MutationError(ValueError):
+    """An inconsistent mutation (duplicate edge, missing edge, bad value)."""
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One atomic change: edge insert/delete, edge-cost or vertex-weight set.
+
+    ``kind`` is one of ``add`` (u, v, cost), ``remove`` (u, v), ``cost``
+    (u, v, new cost), ``weight`` (v, new weight).  Endpoints are stored
+    canonically (``u < v``); ``weight`` mutations put the vertex in ``u``.
+    """
+
+    kind: str
+    u: int
+    v: int = -1
+    value: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise MutationError(f"unknown mutation kind {self.kind!r}")
+        if self.kind != "weight":
+            if self.u == self.v:
+                raise MutationError("self-loops are not allowed")
+            if self.u > self.v:
+                lo, hi = self.v, self.u
+                object.__setattr__(self, "u", lo)
+                object.__setattr__(self, "v", hi)
+
+    @classmethod
+    def add(cls, u: int, v: int, cost: float = 1.0) -> "Mutation":
+        return cls("add", min(u, v), max(u, v), float(cost))
+
+    @classmethod
+    def remove(cls, u: int, v: int) -> "Mutation":
+        return cls("remove", min(u, v), max(u, v))
+
+    @classmethod
+    def set_cost(cls, u: int, v: int, cost: float) -> "Mutation":
+        return cls("cost", min(u, v), max(u, v), float(cost))
+
+    @classmethod
+    def set_weight(cls, v: int, weight: float) -> "Mutation":
+        return cls("weight", int(v), -1, float(weight))
+
+    # wire form: compact JSON-ready lists, ["add", u, v, c] / ["weight", v, w]
+    def to_wire(self) -> list:
+        if self.kind == "remove":
+            return [self.kind, self.u, self.v]
+        if self.kind == "weight":
+            return [self.kind, self.u, self.value]
+        return [self.kind, self.u, self.v, self.value]
+
+    @classmethod
+    def from_wire(cls, item) -> "Mutation":
+        if not isinstance(item, (list, tuple)) or not item:
+            raise MutationError(f"mutation must be a non-empty list, got {item!r}")
+        kind = item[0]
+        if kind not in _KINDS:
+            raise MutationError(f"unknown mutation kind {kind!r}")
+        args = item[1:]
+        if len(args) != _KINDS[kind]:
+            raise MutationError(f"{kind} mutation takes {_KINDS[kind]} args, got {len(args)}")
+        try:
+            if kind == "add":
+                return cls.add(int(args[0]), int(args[1]), float(args[2]))
+            if kind == "remove":
+                return cls.remove(int(args[0]), int(args[1]))
+            if kind == "cost":
+                return cls.set_cost(int(args[0]), int(args[1]), float(args[2]))
+            return cls.set_weight(int(args[0]), float(args[1]))
+        except (TypeError, ValueError) as exc:
+            raise MutationError(f"bad {kind} mutation {item!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class DirtyRegion:
+    """What one applied batch touched — the seed set for local repair."""
+
+    vertices: np.ndarray  #: endpoints of changed edges + reweighted vertices
+    structural: bool  #: any edge inserted or deleted
+    costs_changed: bool
+    weights_changed: bool
+
+    @property
+    def empty(self) -> bool:
+        return self.vertices.size == 0
+
+
+class GraphState:
+    """Mutable (edges, costs, weights) over a fixed vertex set, versioned.
+
+    The live edge set is a dict ``(u, v) -> cost`` with ``u < v``;
+    :meth:`graph` materializes an immutable :class:`Graph` (cached per
+    version, edges in sorted key order so materialization is deterministic).
+    """
+
+    def __init__(self, n: int, edges: dict, weights: np.ndarray, coords=None):
+        self.n = int(n)
+        self._edges = dict(edges)
+        self.weights = np.asarray(weights, dtype=np.float64).copy()
+        if self.weights.size != self.n:
+            raise ValueError("weights must have one entry per vertex")
+        self.coords = coords
+        self.version = 0
+        self.applied = 0
+        self._graph: Graph | None = None
+
+    @classmethod
+    def from_graph(cls, g: Graph, weights) -> "GraphState":
+        edges = {
+            (int(u), int(v)): float(c)
+            for (u, v), c in zip(g.edges.tolist(), g.costs.tolist())
+        }
+        return cls(g.n, edges, weights, coords=g.coords)
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        return len(self._edges)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (min(u, v), max(u, v)) in self._edges
+
+    def edge_items(self) -> list[tuple[tuple[int, int], float]]:
+        """Live edges in canonical (sorted-key) order."""
+        return sorted(self._edges.items())
+
+    def graph(self) -> Graph:
+        """The current state as an immutable graph (cached per version)."""
+        if self._graph is None:
+            items = self.edge_items()
+            if items:
+                edges = np.array([k for k, _ in items], dtype=np.int64)
+                costs = np.array([c for _, c in items], dtype=np.float64)
+            else:
+                edges = np.zeros((0, 2), dtype=np.int64)
+                costs = np.zeros(0, dtype=np.float64)
+            self._graph = Graph(self.n, edges, costs, coords=self.coords, _validate=False)
+        return self._graph
+
+    def structural_hash(self) -> str:
+        """Content hash of the live state (edges + costs + weights).
+
+        Two replicas that applied the same mutation log to the same base
+        agree on this hash exactly — it is the snapshot version identifier
+        the service's cross-shard byte-identity check compares.
+        """
+        h = hashlib.sha256()
+        g = self.graph()
+        h.update(np.int64(self.n).tobytes())
+        h.update(g.edges.tobytes())
+        h.update(g.costs.tobytes())
+        h.update(self.weights.tobytes())
+        return h.hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if not (0 <= v < self.n):
+            raise MutationError(f"vertex {v} out of range [0, {self.n})")
+
+    def apply(self, mutations) -> DirtyRegion:
+        """Apply one batch atomically; returns the dirty region.
+
+        The whole batch is validated against the live state *before* any
+        change lands, so a bad mutation mid-batch cannot leave the state
+        half-applied (the service surfaces it as one failed request).
+        """
+        batch = [m if isinstance(m, Mutation) else Mutation.from_wire(m) for m in mutations]
+        # edges_after tracks the staged edge set so intra-batch conflicts
+        # (add-then-add, remove of an edge added two entries earlier) are
+        # validated against the state each mutation will actually see
+        edges_after = None
+        for mut in batch:
+            self._check_vertex(mut.u)
+            if mut.kind != "weight":
+                self._check_vertex(mut.v)
+            key = (mut.u, mut.v)
+            if mut.kind == "add":
+                if edges_after is None:
+                    edges_after = set(self._edges)
+                if key in edges_after:
+                    raise MutationError(f"edge {key} already exists")
+                if mut.value < 0:
+                    raise MutationError("edge costs must be non-negative")
+                edges_after.add(key)
+            elif mut.kind in ("remove", "cost"):
+                if edges_after is None:
+                    edges_after = set(self._edges)
+                if key not in edges_after:
+                    raise MutationError(f"edge {key} does not exist")
+                if mut.kind == "remove":
+                    edges_after.discard(key)
+                elif mut.value < 0:
+                    raise MutationError("edge costs must be non-negative")
+            elif mut.value < 0:
+                raise MutationError("vertex weights must be non-negative")
+        dirty: set[int] = set()
+        structural = costs_changed = weights_changed = False
+        for mut in batch:
+            if mut.kind == "add":
+                self._edges[(mut.u, mut.v)] = mut.value
+                structural = True
+                dirty.update((mut.u, mut.v))
+            elif mut.kind == "remove":
+                del self._edges[(mut.u, mut.v)]
+                structural = True
+                dirty.update((mut.u, mut.v))
+            elif mut.kind == "cost":
+                self._edges[(mut.u, mut.v)] = mut.value
+                costs_changed = True
+                dirty.update((mut.u, mut.v))
+            else:
+                self.weights[mut.u] = mut.value
+                weights_changed = True
+                dirty.add(mut.u)
+        if batch:
+            self.version += 1
+            self.applied += len(batch)
+            self._graph = None
+        return DirtyRegion(
+            vertices=np.array(sorted(dirty), dtype=np.int64),
+            structural=structural,
+            costs_changed=costs_changed,
+            weights_changed=weights_changed,
+        )
+
+    def copy(self) -> "GraphState":
+        out = GraphState(self.n, self._edges, self.weights, coords=self.coords)
+        out.version = self.version
+        out.applied = self.applied
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GraphState(n={self.n}, m={self.m}, version={self.version})"

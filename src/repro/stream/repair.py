@@ -1,0 +1,239 @@
+"""Incremental repair of a decomposition under graph mutations.
+
+The repair path is the streaming subsystem's hot loop.  Instead of re-running
+the full Theorem 4 pipeline after every mutation batch, it
+
+1. restores Definition 1's strict-balance window greedily when weight
+   mutations pushed class weights outside it (:func:`restore_window`),
+2. runs *localized* Fiduccia–Mattheyses refinement seeded from the dirty
+   region — only class pairs that touch mutated vertices are refined, via
+   the same window-preserving :func:`~repro.core.refine.pairwise_refine`
+   the static pipeline's post-pass uses (:func:`local_repair`), and
+3. leaves the recompute decision to a drift monitor: the session triggers a
+   full solve when the repaired max boundary cost exceeds
+   ``gamma × max(cheap lower bound, last full solve)``.
+
+:func:`cheap_lower_bound` is the quality floor of step 3 — a combinatorial,
+O(n + m) bound in the spirit of Träff & Wimmer's cheap lower bounds for
+balanced partitioning (arXiv 1410.0462): it certifies a minimum max-boundary
+cost any strictly balanced k-partition of the *current* graph must pay, so
+"repair stayed near recompute" can be checked without ever recomputing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.refine import pairwise_refine
+from ..graphs.components import bfs_levels, is_connected
+from ..graphs.graph import Graph
+
+__all__ = ["cheap_lower_bound", "restore_window", "local_repair", "strict_window"]
+
+
+def strict_window(weights: np.ndarray, k: int) -> tuple[float, float]:
+    """Definition 1's per-class weight window ``avg ± (1 − 1/k)‖w‖∞``."""
+    w = np.asarray(weights, dtype=np.float64)
+    total = float(w.sum())
+    wmax = float(w.max()) if w.size else 0.0
+    avg = total / k
+    slack = (1.0 - 1.0 / k) * wmax
+    return avg - slack, avg + slack
+
+
+def cheap_lower_bound(g: Graph, k: int, weights: np.ndarray) -> float:
+    """Combinatorial floor on the max boundary cost of any strictly
+    balanced k-partition of ``g``.
+
+    Two certificates, both O(n + m); the max of the two is returned:
+
+    * **Quotient connectivity** — contracting the classes of any partition
+      of a connected graph leaves a connected quotient on ``k`` vertices,
+      so at least ``k − 1`` inter-class edge bundles exist, each costing at
+      least ``c_min``; the total boundary is ``2·c(cut) ≥ 2(k−1)c_min`` and
+      the max class is at least the average: ``2(k−1)c_min/k``.
+    * **Crowded neighborhoods** — if ``w(v) + w(N(v))`` exceeds the strict
+      window's upper bound, no class can contain ``v``'s closed
+      neighborhood, so the class of ``v`` cuts at least ``v``'s cheapest
+      incident edge.  The best such vertex certifies a per-class floor.
+    """
+    if k < 2 or g.m == 0:
+        return 0.0
+    w = np.asarray(weights, dtype=np.float64)
+    _, hi = strict_window(w, k)
+    bound = 0.0
+    c_min = float(g.costs.min())
+    if c_min > 0 and is_connected(g):
+        bound = 2.0 * (k - 1) * c_min / k
+    # closed-neighborhood weight per vertex, vectorized over half-edges
+    closed = w.copy()
+    np.add.at(closed, g.edges[:, 0], w[g.edges[:, 1]])
+    np.add.at(closed, g.edges[:, 1], w[g.edges[:, 0]])
+    crowded = closed > hi + 1e-12
+    if np.any(crowded):
+        min_inc = np.full(g.n, np.inf)
+        np.minimum.at(min_inc, g.edges[:, 0], g.costs)
+        np.minimum.at(min_inc, g.edges[:, 1], g.costs)
+        vals = min_inc[crowded]
+        vals = vals[np.isfinite(vals)]
+        if vals.size:
+            bound = max(bound, float(vals.max()))
+    return bound
+
+
+def _boundary_movers(g: Graph, labels: np.ndarray, cls: int) -> list[tuple[float, int, int]]:
+    """Candidate moves out of ``cls``: (boundary-cost delta, vertex, dest).
+
+    Only boundary vertices of ``cls`` qualify; the destination is the
+    neighboring class holding the largest share of the vertex's incident
+    cost (cheapest to move toward).
+    """
+    out = []
+    members = np.flatnonzero(labels == cls)
+    for v in members.tolist():
+        s, e = g.indptr[v], g.indptr[v + 1]
+        nbr_labels = labels[g.nbr[s:e]]
+        ecost = g.costs[g.eid[s:e]]
+        foreign = (nbr_labels != cls) & (nbr_labels >= 0)
+        if not np.any(foreign):
+            continue
+        # cost toward each neighboring class
+        per: dict[int, float] = {}
+        for lab, c in zip(nbr_labels[foreign].tolist(), ecost[foreign].tolist()):
+            per[lab] = per.get(lab, 0.0) + c
+        dst, toward = max(per.items(), key=lambda kv: (kv[1], -kv[0]))
+        own = float(ecost[nbr_labels == cls].sum())
+        out.append((own - toward, v, dst))
+    out.sort()
+    return out
+
+
+def restore_window(
+    g: Graph,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    max_moves: int | None = None,
+) -> bool:
+    """Greedily move boundary vertices until every class is back inside the
+    strict window.  Mutates ``labels`` in place; returns success.
+
+    Weight mutations move class totals by at most the mutated mass, so a
+    handful of cheapest-boundary-delta moves from overweight (resp. into
+    underweight) classes restores Definition 1 in the common case.  Failure
+    (window still violated after the move budget) means the perturbation
+    was too large for local repair — the caller escalates to a full solve.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    lo, hi = strict_window(w, k)
+    budget = max_moves if max_moves is not None else 4 * k + 16
+    tol = 1e-9
+    for _ in range(budget):
+        cw = np.bincount(labels[labels >= 0], weights=w[labels >= 0], minlength=k)
+        over = np.flatnonzero(cw > hi + tol)
+        under = np.flatnonzero(cw < lo - tol)
+        if over.size == 0 and under.size == 0:
+            return True
+        moved = False
+        if over.size:
+            cls = int(over[np.argmax(cw[over])])
+            for _, v, dst in _boundary_movers(g, labels, cls):
+                # prefer shedding into the lightest feasible destination
+                if cw[dst] + w[v] <= hi + tol and cw[cls] - w[v] >= lo - tol:
+                    labels[v] = dst
+                    moved = True
+                    break
+        elif under.size:
+            cls = int(under[np.argmin(cw[under])])
+            # pull the cheapest boundary vertex of a neighboring class in
+            best = None
+            members = np.flatnonzero(labels == cls)
+            for v in members.tolist():
+                s, e = g.indptr[v], g.indptr[v + 1]
+                for u, c in zip(g.nbr[s:e].tolist(), g.costs[g.eid[s:e]].tolist()):
+                    src = labels[u]
+                    if src < 0 or src == cls:
+                        continue
+                    if cw[src] - w[u] < lo - tol or cw[cls] + w[u] > hi + tol:
+                        continue
+                    cand = (-c, int(u))
+                    if best is None or cand < best:
+                        best = cand
+            if best is not None:
+                labels[best[1]] = cls
+                moved = True
+        if not moved:
+            return False
+    cw = np.bincount(labels[labels >= 0], weights=w[labels >= 0], minlength=k)
+    return bool(np.all(cw <= hi + tol) and np.all(cw >= lo - tol))
+
+
+def local_repair(
+    g: Graph,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    dirty: np.ndarray,
+    rounds: int = 2,
+    max_pairs: int = 6,
+    halo_hops: int = 3,
+) -> int:
+    """Dirty-region-seeded FM refinement; mutates ``labels``, returns the
+    number of refined class pairs.
+
+    The seed set is the *classes* of the dirty region (mutated vertices and
+    their neighbors): every boundary pair involving a dirty class is a
+    candidate, ordered by shared boundary cost, capped at ``max_pairs``.
+    Class-level seeding matters: a cost mutation strictly interior to one
+    class still changes where that class's boundary *should* sit, which a
+    vertex-level cross-edge seed would miss entirely.  Moves are restricted
+    to the BFS *halo* of the dirty region (``halo_hops`` hops), so repair
+    work scales with the perturbation, not with ``n`` — the strict-balance
+    window is still accounted over full classes, so restricted passes never
+    break Definition 1.
+    """
+    dirty = np.asarray(dirty, dtype=np.int64)
+    if dirty.size == 0 or g.m == 0 or k < 2:
+        return 0
+    w = np.asarray(weights, dtype=np.float64)
+    lo, hi = strict_window(w, k)
+    dirty = dirty[(dirty >= 0) & (dirty < g.n)]
+    # dirty classes: labels of mutated vertices and of their neighbors
+    dirty_classes = np.zeros(k, dtype=bool)
+    for v in dirty.tolist():
+        lv = int(labels[v])
+        if lv >= 0:
+            dirty_classes[lv] = True
+        nbr_labels = labels[g.nbr[g.indptr[v] : g.indptr[v + 1]]]
+        dirty_classes[nbr_labels[nbr_labels >= 0]] = True
+    # boundary cost between class pairs with a dirty member, vectorized
+    lu = labels[g.edges[:, 0]]
+    lv = labels[g.edges[:, 1]]
+    sel = (lu != lv) & (lu >= 0) & (lv >= 0)
+    sel &= dirty_classes[np.where(lu >= 0, lu, 0)] | dirty_classes[np.where(lv >= 0, lv, 0)]
+    if not np.any(sel):
+        return 0
+    lo_lab = np.minimum(lu[sel], lv[sel])
+    hi_lab = np.maximum(lu[sel], lv[sel])
+    sums = np.bincount(lo_lab * k + hi_lab, weights=g.costs[sel], minlength=k * k)
+    order = np.argsort(-sums, kind="stable")
+    pairs = [
+        (int(key) // k, int(key) % k)
+        for key in order[: max_pairs]
+        if sums[key] > 0
+    ]
+    if dirty.size:
+        levels = bfs_levels(g, dirty)
+        movable = (levels >= 0) & (levels <= halo_hops)
+    else:  # pragma: no cover - guarded above
+        movable = np.ones(g.n, dtype=bool)
+    refined = 0
+    for _ in range(max(1, rounds)):
+        changed = False
+        for i, j in pairs:
+            if pairwise_refine(g, labels, w, i, j, lo, hi, movable=movable):
+                changed = True
+                refined += 1
+        if not changed:
+            break
+    return refined

@@ -1,0 +1,285 @@
+"""Stateful streaming sessions: trace replay, repair policies, snapshots.
+
+A :class:`StreamSession` owns one evolving instance: the mutable
+:class:`~repro.stream.mutations.GraphState`, the current decomposition, the
+pre-generated mutation trace, and the repair policy.  It is the unit the
+service keeps per ``open_stream`` request (pinned to one shard) and the unit
+``repro sweep`` replays for streaming scenarios.
+
+Repair policies (the ``policy`` scenario param):
+
+* ``repair`` — localized repair plus the drift monitor: a full solve is
+  triggered only when the repaired max boundary cost exceeds
+  ``gamma × max(cheap lower bound, last full solve)``.
+* ``patch`` — localized repair only, never recompute on drift (the ablation
+  showing what the monitor buys).
+* ``recompute`` — full Theorem 4 solve after every batch (the quality and
+  speed baseline).
+
+Determinism contract: every quantity in :meth:`StreamSession.snapshot` is a
+pure function of (scenario spec, mutation sequence) — traces are seeded from
+the instance spec, solves from the scenario — so the same trace and policy
+produce byte-identical snapshots whatever process, shard count, or host
+replayed them.  Wall-clock lives in :meth:`timings`, outside the snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from ..core.coloring import Coloring
+from .mutations import GraphState, Mutation, MutationError
+from .repair import cheap_lower_bound, local_repair, restore_window
+from .traces import TRACES, make_trace
+
+__all__ = ["POLICIES", "StreamSession", "run_stream_scenario", "stream_coloring"]
+
+POLICIES = ("repair", "patch", "recompute")
+
+#: scenario params consumed by the streaming layer itself; everything else
+#: passes through to the solver (oracle, p, refine) or trace (radius, ...).
+_STREAM_PARAM_DEFAULTS = {
+    "trace": "random-churn",
+    "steps": 16,
+    "ops": 8,
+    "policy": "repair",
+    "gamma": 1.25,
+    "refresh": 8,
+    "solver": "minmax",
+}
+
+
+def _round(x: float) -> float:
+    """12-significant-digit rounding, matching the sweep results schema."""
+    if x == 0 or not math.isfinite(x):
+        return float(x)
+    return float(f"{x:.12g}")
+
+
+class StreamSession:
+    """One streaming decomposition: mutable instance + coloring + policy."""
+
+    def __init__(self, instance, scenario):
+        from ..runtime.algorithms import ALGORITHMS
+        from ..runtime.scenario import derive_seed
+
+        self.scenario = scenario
+        params = scenario.param_dict
+        self.trace_kind = str(params.get("trace", _STREAM_PARAM_DEFAULTS["trace"]))
+        self.total_steps = int(params.get("steps", _STREAM_PARAM_DEFAULTS["steps"]))
+        self.ops = int(params.get("ops", _STREAM_PARAM_DEFAULTS["ops"]))
+        self.policy = str(params.get("policy", _STREAM_PARAM_DEFAULTS["policy"]))
+        self.gamma = float(params.get("gamma", _STREAM_PARAM_DEFAULTS["gamma"]))
+        self.refresh = int(params.get("refresh", _STREAM_PARAM_DEFAULTS["refresh"]))
+        self.solver = str(params.get("solver", _STREAM_PARAM_DEFAULTS["solver"]))
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r} (have {', '.join(POLICIES)})")
+        if self.trace_kind not in TRACES:
+            raise ValueError(
+                f"unknown trace {self.trace_kind!r} (have {', '.join(sorted(TRACES))})"
+            )
+        # "stream" would recurse (full solve -> new session -> full solve …)
+        if self.solver == "stream" or self.solver not in ALGORITHMS:
+            have = ", ".join(sorted(set(ALGORITHMS) - {"stream"}))
+            raise ValueError(f"unknown solver {self.solver!r} (have {have})")
+        self.k = scenario.k
+        self.state = GraphState.from_graph(instance.graph, instance.weights)
+        # the trace is seeded from the *instance* spec plus trace shape only,
+        # never the policy: repair and recompute policies replay the same
+        # mutations, which is what makes quality ratios well-defined
+        trace_extras = {
+            name: params[name] for name in ("radius", "growth", "inflate") if name in params
+        }
+        trace_seed = derive_seed(
+            {
+                "instance": scenario.instance_spec(),
+                "trace": self.trace_kind,
+                "steps": self.total_steps,
+                "ops": self.ops,
+                **trace_extras,
+            },
+            salt="trace",
+        )
+        self._trace = make_trace(
+            self.trace_kind, self.state, self.total_steps, self.ops, trace_seed,
+            **trace_extras,
+        )
+        self._cursor = 0
+        self.steps_taken = 0
+        self.repairs = 0
+        self.recomputes = 0
+        self.refined_pairs = 0
+        self.mutations_applied = 0
+        self.repair_seconds = 0.0
+        self.recompute_seconds = 0.0
+        self.coloring: Coloring | None = None
+        self.last_full_cost = 0.0
+        self.steps_since_full = 0
+        self._full_solve(initial=True)
+
+    # ------------------------------------------------------------------
+    def _solver_scenario(self):
+        return self.scenario.with_(algorithm=self.solver)
+
+    def _full_solve(self, initial: bool = False) -> None:
+        from ..runtime.algorithms import run_algorithm
+        from ..runtime.instances import Instance
+
+        t0 = time.perf_counter()
+        inst = Instance(self.state.graph(), self.state.weights.copy())
+        self.coloring = run_algorithm(inst, self._solver_scenario())
+        self.recompute_seconds += time.perf_counter() - t0
+        self.last_full_cost = self.coloring.max_boundary(self.state.graph())
+        self.steps_since_full = 0
+        if not initial:
+            self.recomputes += 1
+
+    @property
+    def trace_remaining(self) -> int:
+        return len(self._trace) - self._cursor
+
+    # ------------------------------------------------------------------
+    def step(self) -> dict:
+        """Apply the next trace batch and repair; returns a summary dict."""
+        if self._cursor >= len(self._trace):
+            raise MutationError(
+                f"trace exhausted after {len(self._trace)} steps "
+                f"(open with a larger 'steps' param)"
+            )
+        batch = self._trace[self._cursor]
+        self._cursor += 1
+        return self._apply_batch(batch)
+
+    def apply_mutations(self, wire_mutations: list) -> dict:
+        """Apply an explicit client-supplied mutation batch."""
+        batch = [Mutation.from_wire(m) for m in wire_mutations]
+        return self._apply_batch(batch)
+
+    def _apply_batch(self, batch: list) -> dict:
+        dirty = self.state.apply(batch)
+        self.steps_taken += 1
+        self.steps_since_full += 1
+        self.mutations_applied += len(batch)
+        g = self.state.graph()
+        w = self.state.weights
+        action = "repair"
+        if self.policy == "recompute":
+            self._full_solve()
+            action = "recompute"
+        else:
+            t0 = time.perf_counter()
+            labels = self.coloring.labels
+            balanced = restore_window(g, labels, w, self.k)
+            refined = local_repair(g, labels, w, self.k, dirty.vertices)
+            self.refined_pairs += refined
+            self.coloring = Coloring(labels, self.k)
+            self.repair_seconds += time.perf_counter() - t0
+            cost = self.coloring.max_boundary(g)
+            if not balanced:
+                self._full_solve()
+                action = "recompute-balance"
+            elif self.policy == "repair":
+                # drift monitor: the reference is the cheap combinatorial
+                # floor or the last full solve — whichever certifies more
+                floor = max(cheap_lower_bound(g, self.k, w), self.last_full_cost)
+                if floor > 0 and cost > self.gamma * floor:
+                    self._full_solve()
+                    action = "recompute-drift"
+                elif self.refresh > 0 and self.steps_since_full >= self.refresh:
+                    # bounded staleness: the reference ages as mutations
+                    # accumulate (the moving optimum may have dropped below
+                    # it, blinding the drift test), so refresh periodically
+                    self._full_solve()
+                    action = "recompute-refresh"
+            if action == "repair":
+                self.repairs += 1
+        cost = self.coloring.max_boundary(g)
+        return {
+            "step": self.steps_taken,
+            "version": self.state.version,
+            "mutations": len(batch),
+            "dirty": int(dirty.vertices.size),
+            "action": action,
+            "max_boundary": _round(cost),
+        }
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """Standard coloring metrics evaluated on the *current* graph."""
+        from ..analysis import evaluate_coloring, theorem5_rhs
+
+        g = self.state.graph()
+        w = self.state.weights
+        m = evaluate_coloring(g, self.coloring, w)
+        rhs5 = theorem5_rhs(g, self.k, p=2.0)
+        return {
+            "max_boundary": float(m.max_boundary),
+            "avg_boundary": float(m.avg_boundary),
+            "total_cut": float(m.total_cut),
+            "balance_margin": float(m.balance_margin),
+            "strictly_balanced": bool(m.strictly_balanced),
+            "bound_ratio_thm5": float(m.max_boundary / rhs5) if rhs5 > 0 else 0.0,
+        }
+
+    def counters(self) -> dict:
+        return {
+            "steps": self.steps_taken,
+            "mutations": self.mutations_applied,
+            "repairs": self.repairs,
+            "recomputes": self.recomputes,
+            "refined_pairs": self.refined_pairs,
+        }
+
+    def snapshot(self) -> dict:
+        """Deterministic state fingerprint + audit metrics (no volatiles)."""
+        return {
+            "version": self.state.version,
+            "structural_hash": self.state.structural_hash(),
+            "n": self.state.n,
+            "m": self.state.m,
+            "k": self.k,
+            "trace": self.trace_kind,
+            "policy": self.policy,
+            "metrics": {
+                key: (_round(val) if isinstance(val, float) else val)
+                for key, val in self.metrics().items()
+            },
+            "counters": self.counters(),
+        }
+
+    def timings(self) -> dict:
+        """Volatile wall-clock totals — never part of a snapshot."""
+        return {
+            "repair_seconds": round(self.repair_seconds, 6),
+            "recompute_seconds": round(self.recompute_seconds, 6),
+        }
+
+
+def stream_coloring(instance, scenario) -> Coloring:
+    """ALGORITHMS-registry entry point: replay the scenario's whole trace
+    and return the final coloring (labels over the fixed vertex set)."""
+    session = StreamSession(instance, scenario)
+    while session.trace_remaining:
+        session.step()
+    return session.coloring
+
+
+def run_stream_scenario(instance, scenario) -> dict:
+    """Replay a streaming scenario end to end; returns the metrics block
+    the sweep engine records.
+
+    Standard coloring metrics are evaluated on the *final mutated* graph
+    (that is the instance the final coloring decomposes), extended with the
+    streaming counters and the final structural hash — all deterministic.
+    """
+    session = StreamSession(instance, scenario)
+    while session.trace_remaining:
+        session.step()
+    metrics = session.metrics()
+    metrics.update(
+        {f"stream_{name}": val for name, val in session.counters().items()}
+    )
+    metrics["stream_final_m"] = session.state.m
+    metrics["stream_hash"] = session.state.structural_hash()
+    return metrics

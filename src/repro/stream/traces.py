@@ -1,0 +1,241 @@
+"""Mutation-trace generators: the streaming workload families.
+
+A *trace* is a deterministic list of mutation batches against a base
+instance — the streaming analogue of a scenario's graph family.  Four
+families cover the churn regimes the adaptive-computing motivation cares
+about:
+
+* ``random-churn`` — per step, delete a few random (non-bridging) edges,
+  insert the same number of fresh edges between nearby vertices, and jitter
+  a few vertex weights.  The steady-state workload.
+* ``sliding-window`` — FIFO churn: the oldest surviving inserted edge
+  leaves as every new edge arrives, modelling a moving time window over an
+  edge stream.
+* ``hotspot`` — no structural changes: edge costs and vertex weights near a
+  focus vertex grow geometrically for the first half of the trace and decay
+  back for the second, modelling a refinement front passing through.
+* ``adversarial-cut`` — churn aimed at a fixed reference bisection of the
+  vertex set: crossing edges get their costs inflated and extra crossing
+  edges are inserted, deliberately dragging load onto whatever boundary a
+  decomposition chose near that cut.
+
+Generators take a :class:`GraphState` *copy* and simulate on it, so the
+emitted batches are always consistent (no double-inserts, no deletes of
+missing edges) and depend only on ``(base state, steps, ops, seed)`` — a
+trace is as deterministic as the instance it mutates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.components import bfs_levels, is_connected
+from .mutations import GraphState, Mutation
+
+__all__ = ["TRACES", "make_trace"]
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(int(seed))
+
+
+def _candidate_pairs(state: GraphState, rng, count: int) -> list[tuple[int, int]]:
+    """Up to ``count`` fresh vertex pairs (non-edges), locality-biased.
+
+    Pairs are sampled as (random vertex, random vertex at small index
+    offset) so inserted edges look like remeshing edges, not random
+    long-range shortcuts; falls back to uniform pairs when the local probe
+    keeps colliding with existing edges.
+    """
+    out: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    n = state.n
+    attempts = 0
+    while len(out) < count and attempts < 40 * count + 40:
+        attempts += 1
+        u = int(rng.integers(n))
+        if attempts % 3 == 2:  # periodic uniform fallback
+            v = int(rng.integers(n))
+        else:
+            v = u + int(rng.integers(1, max(2, n // 16)))
+        if not (0 <= v < n) or u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in seen or state.has_edge(*key):
+            continue
+        seen.add(key)
+        out.append(key)
+    return out
+
+
+def _removable_edges(state: GraphState, rng, count: int) -> list[tuple[int, int]]:
+    """Up to ``count`` random live edges whose removal keeps G connected.
+
+    Keeping the state connected keeps full recompute well-posed (the
+    separator oracles assume one component), so repair-vs-recompute quality
+    ratios compare like with like.  Connectivity is rechecked after each
+    accepted removal on the staged state.
+    """
+    out: list[tuple[int, int]] = []
+    scratch = state.copy()
+    items = [k for k, _ in scratch.edge_items()]
+    if not items:
+        return out
+    order = rng.permutation(len(items))
+    for idx in order:
+        if len(out) >= count:
+            break
+        u, v = items[int(idx)]
+        if not scratch.has_edge(u, v):
+            continue
+        scratch.apply([Mutation.remove(u, v)])
+        if is_connected(scratch.graph()):
+            out.append((u, v))
+        else:
+            scratch.apply([Mutation.add(u, v, 1.0)])
+    return out
+
+
+def _cost_scale(state: GraphState, rng) -> float:
+    """A plausible cost for a fresh edge: a jittered live-cost quantile."""
+    costs = [c for _, c in state.edge_items()]
+    base = float(np.median(costs)) if costs else 1.0
+    return base * float(rng.uniform(0.5, 2.0))
+
+
+def _trace_random_churn(state: GraphState, steps: int, ops: int, seed: int, **params):
+    rng = _rng(seed)
+    batches = []
+    structural = max(1, ops // 2)
+    for _ in range(int(steps)):
+        batch: list[Mutation] = []
+        for u, v in _removable_edges(state, rng, structural):
+            batch.append(Mutation.remove(u, v))
+        for u, v in _candidate_pairs(state, rng, structural):
+            batch.append(Mutation.add(u, v, _cost_scale(state, rng)))
+        for _ in range(max(0, ops - 2 * structural)):
+            v = int(rng.integers(state.n))
+            batch.append(Mutation.set_weight(v, float(rng.uniform(0.25, 4.0))))
+        state.apply(batch)
+        batches.append(batch)
+    return batches
+
+
+def _trace_sliding_window(state: GraphState, steps: int, ops: int, seed: int, **params):
+    rng = _rng(seed)
+    batches = []
+    window: list[tuple[int, int]] = []  # FIFO of our own insertions
+    for _ in range(int(steps)):
+        batch: list[Mutation] = []
+        fresh = _candidate_pairs(state, rng, max(1, ops))
+        for u, v in fresh:
+            batch.append(Mutation.add(u, v, _cost_scale(state, rng)))
+            window.append((u, v))
+        while len(window) > 4 * max(1, ops):
+            u, v = window.pop(0)
+            if state.has_edge(u, v):
+                batch.append(Mutation.remove(u, v))
+        state.apply(batch)
+        batches.append(batch)
+    return batches
+
+
+def _trace_hotspot(state: GraphState, steps: int, ops: int, seed: int, **params):
+    rng = _rng(seed)
+    focus = int(rng.integers(state.n))
+    g = state.graph()
+    dist = bfs_levels(g, [focus])
+    radius = int(params.get("radius", 3))
+    near = np.flatnonzero((dist >= 0) & (dist <= radius))
+    near_set = set(int(v) for v in near)
+    hot_edges = [
+        (u, v) for (u, v), _ in state.edge_items() if u in near_set and v in near_set
+    ]
+    growth = float(params.get("growth", 1.6))
+    batches = []
+    half = max(1, int(steps) // 2)
+    for step in range(int(steps)):
+        factor = growth if step < half else 1.0 / growth
+        batch: list[Mutation] = []
+        picks = min(len(hot_edges), max(1, ops))
+        if picks:
+            chosen = rng.choice(len(hot_edges), size=picks, replace=False)
+            live = {k: c for k, c in state.edge_items()}
+            for idx in chosen:
+                u, v = hot_edges[int(idx)]
+                batch.append(Mutation.set_cost(u, v, live[(u, v)] * factor))
+        verts = rng.choice(near, size=min(near.size, max(1, ops // 2)), replace=False)
+        for v in verts:
+            batch.append(Mutation.set_weight(int(v), float(state.weights[int(v)]) * factor))
+        state.apply(batch)
+        batches.append(batch)
+    return batches
+
+
+def _trace_adversarial_cut(state: GraphState, steps: int, ops: int, seed: int, **params):
+    rng = _rng(seed)
+    # fixed reference bisection: geometric halves when coords exist (the cut
+    # a grid decomposition is likely to sit near), index halves otherwise
+    if state.coords is not None:
+        axis = state.coords[:, 0]
+        side = axis >= np.median(axis)
+    else:
+        side = np.arange(state.n) >= state.n // 2
+    inflate = float(params.get("inflate", 1.5))
+    batches = []
+    for _ in range(int(steps)):
+        batch: list[Mutation] = []
+        live = state.edge_items()
+        crossing = [(u, v) for (u, v), _ in live if side[u] != side[v]]
+        picks = min(len(crossing), max(1, ops))
+        if picks:
+            chosen = rng.choice(len(crossing), size=picks, replace=False)
+            costs = dict(live)
+            for idx in chosen:
+                u, v = crossing[int(idx)]
+                batch.append(Mutation.set_cost(u, v, costs[(u, v)] * inflate))
+        # plus fresh crossing edges, to keep dragging cost onto the cut
+        added = 0
+        attempts = 0
+        while added < max(1, ops // 2) and attempts < 40 * ops + 40:
+            attempts += 1
+            u = int(rng.integers(state.n))
+            v = int(rng.integers(state.n))
+            if u == v or side[u] == side[v] or state.has_edge(u, v):
+                continue
+            if any(m.kind == "add" and (m.u, m.v) == (min(u, v), max(u, v)) for m in batch):
+                continue
+            batch.append(Mutation.add(u, v, _cost_scale(state, rng) * inflate))
+            added += 1
+        state.apply(batch)
+        batches.append(batch)
+    return batches
+
+
+#: trace kind -> generator(state_copy, steps, ops, seed, **params)
+TRACES = {
+    "random-churn": _trace_random_churn,
+    "sliding-window": _trace_sliding_window,
+    "hotspot": _trace_hotspot,
+    "adversarial-cut": _trace_adversarial_cut,
+}
+
+
+def make_trace(
+    kind: str,
+    base: GraphState,
+    steps: int,
+    ops: int,
+    seed: int,
+    **params,
+) -> list[list[Mutation]]:
+    """Generate ``steps`` mutation batches of ``kind`` against ``base``.
+
+    ``base`` is not modified (the generator simulates on a copy).  The
+    result is a pure function of the arguments.
+    """
+    if kind not in TRACES:
+        raise KeyError(f"unknown trace kind {kind!r} (have {', '.join(sorted(TRACES))})")
+    if steps < 0:
+        raise ValueError("steps must be >= 0")
+    return TRACES[kind](base.copy(), steps, max(1, int(ops)), seed, **params)

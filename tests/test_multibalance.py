@@ -175,3 +175,57 @@ class TestLemma6MultiBalanced:
         g = triangulated_mesh(6, 6)
         chi, _ = multi_balanced_coloring(g, 5, [unit_weights(g)], oracle)
         assert chi.is_total()
+
+
+class TestMutationEdgeCases:
+    """Cases that become load-bearing under incremental repair: colorings
+    arriving at the Lemma 9 machinery with empty classes, single-vertex
+    classes, or zero-cost edges (all producible by a mutation batch)."""
+
+    def test_rebalance_with_empty_class(self, oracle):
+        g = grid_graph(8, 8)
+        w = unit_weights(g)
+        k = 4
+        labels = np.arange(g.n, dtype=np.int64) % (k - 1)  # class 3 empty
+        chi, stats = rebalance(g, Coloring(labels, k), w, [], oracle)
+        assert chi.is_total()
+        # Lemma 9 bounds the max only — an empty class may legally stay
+        # empty — but nothing may crash and no anomaly may fire
+        avg = w.sum() / k
+        assert chi.class_weights(w).max() <= 3 * avg + 8 * w.max() + 1e-9
+        assert stats.anomalies == 0
+
+    def test_rebalance_with_single_vertex_classes(self, oracle):
+        g = grid_graph(8, 8)
+        w = unit_weights(g)
+        k = 4
+        labels = np.zeros(g.n, dtype=np.int64)
+        labels[0], labels[1], labels[2] = 1, 2, 3  # three singleton classes
+        chi, stats = rebalance(g, Coloring(labels, k), w, [], oracle)
+        assert chi.is_total()
+        avg = w.sum() / k
+        assert chi.class_weights(w).max() <= 3 * avg + 8 * w.max() + 1e-9
+
+    def test_bicolor_singleton_member_set(self, oracle):
+        g = grid_graph(6, 6)
+        w = unit_weights(g)
+        p1, p2 = multi_balanced_bicolor(g, np.array([7], dtype=np.int64), [w], oracle)
+        assert sorted(np.concatenate([p1, p2]).tolist()) == [7]
+
+    def test_bicolor_empty_member_set(self, oracle):
+        g = grid_graph(6, 6)
+        w = unit_weights(g)
+        p1, p2 = multi_balanced_bicolor(g, np.zeros(0, dtype=np.int64), [w], oracle)
+        assert p1.size == 0 and p2.size == 0
+
+    def test_rebalance_with_zero_cost_edges(self, oracle):
+        """A mutation can drop an edge cost to exactly 0; the Ψ measure and
+        the Move machinery must survive zero rows."""
+        g = grid_graph(8, 8)
+        costs = g.costs.copy()
+        costs[::3] = 0.0
+        g0 = g.with_costs(costs)
+        w = unit_weights(g0)
+        chi, _ = multi_balanced_coloring(g0, 4, [w], oracle)
+        assert chi.is_total()
+        assert chi.max_boundary(g0) >= 0.0

@@ -11,6 +11,7 @@ from repro.graphs import grid_graph
 from repro.graphs.io import save_npz
 from repro.runtime import Scenario, run_sweep
 from repro.service import (
+    PROTOCOL_VERSION,
     ColoringCache,
     DecompositionService,
     MicroBatcher,
@@ -329,7 +330,7 @@ class TestServer:
         for resp in responses:
             sid = resp["record"]["scenario_id"]
             assert canonical_record(resp["record"]) == expected[sid]
-        assert pong["ok"] and pong["pong"] == 1
+        assert pong["ok"] and pong["pong"] == PROTOCOL_VERSION
         assert stats["stats"]["requests"] == len(SPECS)
         assert not bad["ok"] and "needs keys: k" in bad["error"]
 

@@ -165,3 +165,56 @@ class TestShrink:
         pi = splitting_cost_measure(g, 2.0)
         chi0, chi1, _ = shrink(g, chi, np.zeros(g.n), pi, oracle)
         assert np.array_equal(chi0.labels, chi.labels)
+
+
+class TestMutationEdgeCases:
+    """Shrink fed the degenerate colorings incremental repair can produce:
+    empty classes, singleton classes, zero-cost edges."""
+
+    def test_shrink_with_empty_class(self, oracle):
+        g = grid_graph(10, 10)
+        w = unit_weights(g)
+        k = 5
+        labels = np.arange(g.n, dtype=np.int64) % (k - 1)  # class 4 empty
+        pi = splitting_cost_measure(g, 2.0)
+        chi0, chi1, _ = shrink(g, Coloring(labels, k), w, pi, oracle)
+        # every vertex is in exactly one of (chi0, chi1)
+        both = (chi0.labels >= 0).astype(int) + (chi1.labels >= 0).astype(int)
+        assert np.all(both == 1)
+
+    def test_shrink_with_singleton_classes(self, oracle):
+        g = grid_graph(10, 10)
+        w = unit_weights(g)
+        k = 4
+        labels = np.zeros(g.n, dtype=np.int64)
+        labels[10], labels[20], labels[30] = 1, 2, 3
+        pi = splitting_cost_measure(g, 2.0)
+        chi0, chi1, diag = shrink(g, Coloring(labels, k), w, pi, oracle)
+        both = (chi0.labels >= 0).astype(int) + (chi1.labels >= 0).astype(int)
+        assert np.all(both == 1)
+        # singletons are underweight: AddTo must have fed them
+        assert diag.addtos > 0
+
+    def test_shrink_with_zero_cost_edges(self, oracle):
+        g = grid_graph(9, 9)
+        costs = g.costs.copy()
+        costs[1::2] = 0.0
+        gz = g.with_costs(costs)
+        w = unit_weights(gz)
+        pi = splitting_cost_measure(gz, 2.0)
+        chi0, chi1, _ = shrink(gz, Coloring.round_robin(gz.n, 3), w, pi, oracle)
+        both = (chi0.labels >= 0).astype(int) + (chi1.labels >= 0).astype(int)
+        assert np.all(both == 1)
+
+    def test_extract_light_part_singleton(self, oracle):
+        g = grid_graph(5, 5)
+        w = unit_weights(g)
+        x = extract_light_part(g, np.array([3], dtype=np.int64), w, 0.5, [], oracle)
+        assert x.tolist() == [3]
+
+    def test_iterative_partition_zero_cost_subgraph(self, oracle):
+        gz = grid_graph(6, 6).with_costs(0.0)
+        w = unit_weights(gz)
+        parts = iterative_partition(gz, np.arange(gz.n, dtype=np.int64), w, 6.0, oracle)
+        flat = np.concatenate(parts)
+        assert sorted(flat.tolist()) == list(range(gz.n))
