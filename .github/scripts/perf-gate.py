@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_e15.json perf run against the checked-in perf baseline.
+
+Usage: perf-gate.py BENCH_e15.json benchmarks/baselines/perf_baseline.json [tolerance]
+
+The gate compares the old-vs-new kernel *speedup ratio* per case — a
+dimensionless wall-clock ratio measured within one run, so it transfers
+across machines where absolute seconds would not.  A case regresses when
+its ratio drops more than ``tolerance`` (default: the baseline's
+``tolerance`` field, 0.20) below the baseline's conservative reference.
+Any case with non-byte-identical outputs fails outright, headline cases
+must additionally clear the baseline's ``min_headline_speedup``, and every
+baseline case recorded for the run's mode (smoke/full) must be present —
+a silently dropped case cannot pass green.
+"""
+
+import json
+import sys
+
+
+def main(argv: list) -> int:
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as fh:
+        current = json.load(fh)
+    with open(argv[2]) as fh:
+        baseline = json.load(fh)
+    tolerance = float(argv[3]) if len(argv) > 3 else float(baseline.get("tolerance", 0.20))
+    min_headline = float(baseline.get("min_headline_speedup", 5.0))
+
+    cur_cases = current.get("cases", {})
+    base_cases = baseline.get("cases", {})
+    mode = current.get("mode")
+    failures = []
+    compared = 0
+    # every baseline case recorded for this run's mode must be present —
+    # silently dropping a case (the headline included) must not pass green
+    for key in sorted(base_cases):
+        modes = base_cases[key].get("modes", [])
+        if mode in modes and key not in cur_cases:
+            failures.append(
+                f"{key}: baseline case for mode {mode!r} missing from the run"
+            )
+    for key in sorted(cur_cases):
+        cur = cur_cases[key]
+        if not cur.get("identical", False):
+            failures.append(f"{key}: outputs NOT byte-identical across kernels")
+        if cur.get("headline") and cur["speedup"] < min_headline:
+            failures.append(
+                f"{key}: headline speedup {cur['speedup']}x < required {min_headline}x"
+            )
+        base = base_cases.get(key)
+        if base is None:
+            print(f"  {key}: {cur['speedup']}x (no baseline entry, informational)")
+            continue
+        compared += 1
+        floor = base["speedup"] / (1.0 + tolerance)
+        status = "ok" if cur["speedup"] >= floor else "REGRESSED"
+        print(
+            f"  {key}: {cur['speedup']}x vs baseline {base['speedup']}x "
+            f"(floor {floor:.2f}x) {status}"
+        )
+        if cur["speedup"] < floor:
+            failures.append(
+                f"{key}: speedup {cur['speedup']}x regressed >"
+                f"{tolerance:.0%} below baseline {base['speedup']}x"
+            )
+    if compared == 0:
+        failures.append("no case overlapped the baseline — nothing was gated")
+    print(f"perf gate: compared {compared} case(s), tolerance {tolerance:.0%}")
+    if failures:
+        for msg in failures:
+            print(f"  FAIL {msg}")
+        return 1
+    print("  ok: no kernel-speedup regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

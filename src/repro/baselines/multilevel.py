@@ -16,7 +16,6 @@ import numpy as np
 
 from .._util import as_float_array, as_rng
 from ..core.coloring import Coloring
-from ..core.refine import pairwise_refine
 from ..graphs.graph import Graph
 
 __all__ = ["multilevel_partition", "heavy_edge_matching", "contract"]
@@ -32,7 +31,7 @@ def heavy_edge_matching(g: Graph, rng=None) -> np.ndarray:
             continue
         s, e = g.indptr[v], g.indptr[v + 1]
         nbrs = g.nbr[s:e]
-        ecost = g.costs[g.eid[s:e]]
+        ecost = g.arc_costs[s:e]
         free = match[nbrs] < 0
         if np.any(free):
             cand = nbrs[free]
@@ -137,14 +136,16 @@ def multilevel_partition(
 def _refine_all_pairs(
     g: Graph, labels: np.ndarray, w: np.ndarray, k: int, lo: float, hi: float, rounds: int
 ) -> None:
+    from ..core.kernels import run_pair_kernel
+    from ..core.refine import _class_pair_costs
+
+    csr = g.csr_lists()  # shared across every pass at this level
     for _ in range(rounds):
         changed = False
         # visit adjacent class pairs by decreasing shared cost
-        from ..core.refine import _class_pair_costs
-
-        pairs = sorted(_class_pair_costs(g, labels, k).items(), key=lambda kv: -kv[1])
+        pairs = sorted(_class_pair_costs(g, labels, k).items(), key=lambda kv: (-kv[1], kv[0]))
         for (i, j), _c in pairs[: 2 * k]:
-            if pairwise_refine(g, labels, w, i, j, lo, hi):
+            if run_pair_kernel(g, labels, w, i, j, lo, hi, csr=csr)[1]:
                 changed = True
         if not changed:
             break

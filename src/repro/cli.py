@@ -9,6 +9,7 @@ Usage::
         --workers 4 -o sweep.json
     python -m repro serve --port 8642 --shards 4
     python -m repro loadgen --port 8642 --preset smoke --connections 16
+    python -m repro profile --preset smoke --top 20
 
 ``partition`` writes one class id per line (vertex order).  ``evaluate``
 prints the metric panel for an existing labeling.  ``demo`` runs the
@@ -16,7 +17,9 @@ pipeline on a generated grid and prints the audit table.  ``sweep`` expands
 a scenario grid, fans it across worker processes, and writes deterministic
 JSON results (see :mod:`repro.runtime`).  ``serve`` runs the batched
 decomposition service and ``loadgen`` replays a scenario grid against it as
-concurrent requests (see :mod:`repro.service`).
+concurrent requests (see :mod:`repro.service`).  ``profile`` runs a grid
+inline under cProfile and prints the hottest functions — the dev tool
+backing perf PRs like the E15 kernel work.
 """
 
 from __future__ import annotations
@@ -112,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--session-ttl", type=float, default=900.0,
                     help="expire streaming sessions idle for this many seconds "
                     "(enforced when the session limit is hit; 0 disables)")
+
+    pf = sub.add_parser("profile",
+                        help="run a scenario grid under cProfile and print the "
+                        "hottest functions (dev tool backing perf PRs)")
+    _add_grid_arguments(pf)
+    pf.add_argument("--top", type=int, default=20,
+                    help="number of functions to show (default 20)")
+    pf.add_argument("--sort", choices=("cumulative", "tottime"), default="cumulative",
+                    help="ranking statistic (default cumulative)")
 
     lg = sub.add_parser("loadgen",
                         help="replay a scenario grid against a running service")
@@ -298,6 +310,47 @@ def _run_sweep(args) -> int:
         print(report.render())
         if not report.ok:
             return 1
+    return 0
+
+
+def _run_profile(args) -> int:
+    """Profile a scenario grid inline under cProfile.
+
+    The table is deterministic up to the measured times: rows rank by the
+    chosen statistic with ties (and the displayed function names) resolved
+    by ``module:line(function)`` with paths stripped to basenames, so two
+    runs of the same checkout list the same hot spots in a stable, diffable
+    format.
+    """
+    import cProfile
+    import pstats
+
+    from .runtime import run_sweep
+
+    grid, scenarios = _grid_from_args(args, "profile")
+    print(f"profile: {len(scenarios)} scenario(s), inline under cProfile",
+          file=sys.stderr)
+    prof = cProfile.Profile()
+    prof.enable()
+    run_sweep(scenarios, workers=1)
+    prof.disable()
+    stats = pstats.Stats(prof)
+    total = stats.total_tt
+    rows = []
+    for (filename, lineno, funcname), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        name = f"{pathlib.Path(filename).name}:{lineno}({funcname})"
+        rows.append((ct if args.sort == "cumulative" else tt, name, nc, tt, ct))
+    rows.sort(key=lambda r: (-r[0], r[1]))
+    table = Table(
+        f"profile — {len(scenarios)} scenario(s), sorted by {args.sort}",
+        ["function", "calls", "tottime s", "cumtime s", "cum %"],
+        note=f"total profiled time {total:.3f}s; times vary run to run, the "
+        "ranking and naming are stable",
+    )
+    for _, name, nc, tt, ct in rows[: max(0, args.top)]:
+        share = 100.0 * ct / total if total > 0 else 0.0
+        table.add(name, nc, round(tt, 3), round(ct, 3), f"{share:.1f}")
+    table.show()
     return 0
 
 
@@ -526,6 +579,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "loadgen":

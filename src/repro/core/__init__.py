@@ -33,6 +33,12 @@ from .shrink import (
     shrink,
 )
 from .hierarchy import HierarchicalResult, hierarchical_partition
+from .kernels import (
+    fm_pair_pass,
+    fm_pair_pass_reference,
+    kernel_override,
+    run_pair_kernel,
+)
 from .refine import kway_refine, pairwise_refine
 from .strictify import improve_balance
 
@@ -52,6 +58,10 @@ __all__ = [
     "HierarchicalResult",
     "hierarchical_partition",
     "pairwise_refine",
+    "fm_pair_pass",
+    "fm_pair_pass_reference",
+    "kernel_override",
+    "run_pair_kernel",
     "binpack_merge",
     "binpack_strict",
     "extract_chunk",

@@ -1,0 +1,476 @@
+"""Shared Fiduccia–Mattheyses move kernels for the pairwise FM hot path.
+
+Every refinement layer in the repo — the Theorem 4 post-pass
+(:func:`~repro.core.refine.kway_refine`), the streaming repairer's
+halo-restricted passes (:func:`~repro.stream.repair.local_repair`), and the
+multilevel baseline's uncoarsening refinement — funnels through one
+primitive: a balance-window-preserving FM pass moving vertices between two
+classes.  This module holds the two interchangeable implementations of that
+primitive:
+
+``incremental`` (the default)
+    A gain-table kernel.  Initial gains for the whole pair are computed in
+    one signed ``np.bincount`` scatter over the pair's edges (no per-vertex
+    ``gain_of`` calls), and after a committed move only the moved vertex's
+    incident arcs adjust neighbor gains (``±2c`` per arc — edges to third
+    classes are untouched), i.e. O(deg) work per move.  The heap is
+    lazy-deletion: entries carry the gain they were pushed with, and a popped
+    entry is *validated against the stored gain table* in O(1) — stale
+    entries are re-enqueued at their table gain instead of triggering a
+    recompute.
+
+``reference``
+    The historical recompute-everything loop: every pop recomputes the
+    vertex's gain from its CSR row, and every accepted move recomputes and
+    re-pushes all pair neighbors (O(deg²)-ish per move).  Kept as the
+    semantics oracle for the golden-equivalence tests and as the ablation
+    baseline for ``benchmarks/bench_e15_perf.py``.
+
+Both kernels make identical decisions: the heap orders by ``(-gain,
+vertex)`` so ties break toward the smallest vertex id, acceptance uses the
+same one-move-overshoot window slack, and the result is the best strictly
+valid move prefix.  With integer-valued edge costs every gain is an exact
+float in both kernels (sums of integers below 2**53 are associative), so
+labels come out byte-identical; with arbitrary float costs the two can
+differ in degenerate ulp-level near-ties only.
+
+The one-move overshoot slack is ``wmax``, the heaviest vertex weight over
+the *full* pair classes — not just the movable members.  A ``movable`` mask
+(the streaming repairer's halo) may hide the heaviest vertex; computing the
+slack over the masked members would make restricted passes reject moves the
+unrestricted FM discipline allows.
+"""
+
+from __future__ import annotations
+
+import heapq
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..graphs.graph import Graph
+
+__all__ = [
+    "fm_pair_pass",
+    "fm_pair_pass_reference",
+    "run_pair_kernel",
+    "default_kernel",
+    "set_default_kernel",
+    "kernel_override",
+    "KERNELS",
+]
+
+#: tolerance shared by every window / gain comparison in both kernels
+_TOL = 1e-12
+
+
+def _pair_slack(w: np.ndarray, in_pair: np.ndarray) -> float:
+    """One-move overshoot slack: max weight over the full pair classes."""
+    return float(w[in_pair].max()) if np.any(in_pair) else 0.0
+
+
+def fm_pair_pass(
+    g: Graph,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    i: int,
+    j: int,
+    lo_bound: float,
+    hi_bound: float,
+    max_moves: int | None = None,
+    movable: np.ndarray | None = None,
+    csr: tuple | None = None,
+) -> tuple[list[int], bool]:
+    """Incremental gain-table FM pass between classes ``i`` and ``j``.
+
+    Mutates ``labels`` in place.  Returns ``(kept, improved)`` where ``kept``
+    lists the vertices whose class actually changed (in move order) and
+    ``improved`` says whether a strictly-valid improving prefix was kept
+    (the legacy boolean contract of ``pairwise_refine``).
+
+    Two internal paths share identical move decisions:
+
+    * ``movable is None`` (dense) — initial gains come from one signed
+      scatter over all pair edges and the move loop runs on Python-list CSR
+      views; multi-pass callers can pass ``csr=g.csr_lists()`` to amortize
+      that conversion across passes.
+    * ``movable`` given and sparse (the streaming halo on a large graph) —
+      gains are built from the *members'* CSR rows only and the loop reads
+      the numpy arrays directly, so setup costs O(Σ deg(member)) beyond the
+      class-weight sums instead of O(n + m): localized perturbations keep
+      costing localized work.  When the masked members cover a sizable
+      fraction of the graph (> n/8) the dense path's vectorized setup
+      amortizes better and is used instead; the switch depends only on the
+      instance and mask, so results stay deterministic.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    in_pair = (labels == i) | (labels == j)
+    wmax = _pair_slack(w, in_pair)
+    member_mask = in_pair if movable is None else (in_pair & movable)
+    members = np.flatnonzero(member_mask).astype(np.int64)
+    if members.size == 0:
+        return [], False
+    cw_i = float(w[labels == i].sum())
+    cw_j = float(w[labels == j].sum())
+    if movable is None or members.size * 8 > g.n:
+        return _dense_pass(
+            g, labels, w, i, j, lo_bound, hi_bound,
+            max_moves, in_pair, member_mask, members, cw_i, cw_j, wmax, csr,
+        )
+    return _restricted_pass(
+        g, labels, w, i, j, lo_bound, hi_bound,
+        max_moves, member_mask, members, cw_i, cw_j, wmax,
+    )
+
+
+def _dense_pass(
+    g, labels, w, i, j, lo_bound, hi_bound,
+    max_moves, in_pair, member_mask, members, cw_i, cw_j, wmax, csr,
+) -> tuple[list[int], bool]:
+    # --- vectorized initial gains: one signed scatter over the pair's edges.
+    # An edge with both endpoints in the pair contributes -c to each endpoint
+    # when monochromatic and +c when bichromatic; edges leaving the pair
+    # contribute nothing (moving v between i and j does not change them).
+    gains = np.zeros(g.n, dtype=np.float64)
+    if g.m:
+        eu = g.edges[:, 0]
+        ev = g.edges[:, 1]
+        both = in_pair[eu] & in_pair[ev]
+        if np.any(both):
+            su = eu[both]
+            sv = ev[both]
+            signed = np.where(labels[su] == labels[sv], -g.costs[both], g.costs[both])
+            gains += np.bincount(su, weights=signed, minlength=g.n)
+            gains += np.bincount(sv, weights=signed, minlength=g.n)
+
+    # --- Python-native state for the scalar move loop.  At a handful of
+    # neighbors per committed move, list reads beat numpy element access by
+    # an order of magnitude; ``labels`` (the caller's array) is kept in sync
+    # at every commit and rollback.
+    indptr_l, nbr_l, acost_l = csr if csr is not None else g.csr_lists()
+    gains_l = gains.tolist()
+    labels_l = labels.tolist()
+    w_l = w.tolist()
+    member_l = member_mask.tolist()
+    locked = [False] * g.n
+    heap = list(zip((-gains[members]).tolist(), members.tolist()))
+    heapq.heapify(heap)
+    moves: list[int] = []
+    best_prefix = 0
+    best_improvement = 0.0
+    improvement = 0.0
+    limit = max_moves if max_moves is not None else members.size
+    heappop, heappush = heapq.heappop, heapq.heappush
+
+    lo_ok = lo_bound - 1e-9
+    hi_ok = hi_bound + 1e-9
+    lo_slack = lo_bound - wmax - _TOL
+    hi_slack = hi_bound + wmax + _TOL
+    start_ok = lo_ok <= cw_i <= hi_ok and lo_ok <= cw_j <= hi_ok
+    while heap and len(moves) < limit:
+        neg_gain, v = heappop(heap)
+        if locked[v]:
+            continue
+        lv = labels_l[v]
+        if lv != i and lv != j:
+            continue
+        gv = gains_l[v]
+        if abs(gv + neg_gain) > _TOL:
+            # stale lazy-deletion entry: the table moved on since this push.
+            # Re-enqueue at the *stored* gain (O(1)) so the vertex keeps its
+            # seat even if its current-gain entry was already consumed.
+            heappush(heap, (-gv, v))
+            continue
+        wv = w_l[v]
+        if lv == i:
+            src, dst = i, j
+            new_src, new_dst = cw_i - wv, cw_j + wv
+        else:
+            src, dst = j, i
+            new_src, new_dst = cw_j - wv, cw_i + wv
+        # FM discipline: allow one-move overshoot past the strict window;
+        # only strictly-valid intermediate states can become the result.
+        if new_src < lo_slack or new_dst > hi_slack:
+            continue
+        labels_l[v] = dst
+        labels[v] = dst
+        locked[v] = True
+        if src == i:
+            cw_i, cw_j = new_src, new_dst
+        else:
+            cw_j, cw_i = new_src, new_dst
+        improvement += gv
+        moves.append(v)
+        if (
+            improvement > best_improvement + _TOL
+            and lo_ok <= cw_i <= hi_ok
+            and lo_ok <= cw_j <= hi_ok
+        ):
+            best_improvement = improvement
+            best_prefix = len(moves)
+        # --- O(deg) delta update: v flipped src -> dst, so a neighbor u in
+        # the pair sees v change buckets: +2c if u sits in src (v left u's
+        # class), -2c if u sits in dst (v joined it).  Third-class and
+        # uncolored neighbors are unaffected.
+        for t in range(indptr_l[v], indptr_l[v + 1]):
+            u = nbr_l[t]
+            lu = labels_l[u]
+            if lu == i or lu == j:
+                c2 = 2.0 * acost_l[t]
+                gu = gains_l[u] + c2 if lu == src else gains_l[u] - c2
+                gains_l[u] = gu
+                if not locked[u] and member_l[u]:
+                    heappush(heap, (-gu, u))
+    # rollback past the best strictly-valid prefix; if the input itself was
+    # outside the window (shouldn't happen), keep the best effort instead of
+    # rolling back to an invalid start
+    if best_prefix == 0 and not start_ok and moves:
+        return moves, False
+    for v in reversed(moves[best_prefix:]):
+        labels[v] = i if labels[v] == j else j
+    return moves[:best_prefix], best_prefix > 0
+
+
+def _restricted_pass(
+    g, labels, w, i, j, lo_bound, hi_bound,
+    max_moves, member_mask, members, cw_i, cw_j, wmax,
+) -> tuple[list[int], bool]:
+    """Halo-restricted pass: gain table over members only, numpy access.
+
+    Beyond the O(n) class-weight sums the shared prologue already pays,
+    setup is proportional to the members' degree sum — no full-edge scan
+    and no O(n) list conversions — so the streaming repairer's dirty-region
+    passes scale with the perturbation, not the instance.  The initial
+    per-member gain uses the same two-sum expression as the reference
+    kernel, so restricted passes match it exactly even for float costs.
+    """
+    indptr, nbr, acost = g.indptr, g.nbr, g.arc_costs
+    gains: dict[int, float] = {}
+    heap = []
+    for v in members.tolist():
+        s, e = indptr[v], indptr[v + 1]
+        nbrs = nbr[s:e]
+        ecost = acost[s:e]
+        own = labels[nbrs] == labels[v]
+        other = labels[nbrs] == (j if labels[v] == i else i)
+        gv = float(ecost[other].sum() - ecost[own].sum())
+        gains[v] = gv
+        heap.append((-gv, v))
+    heapq.heapify(heap)
+    locked = np.zeros(g.n, dtype=bool)
+    moves: list[int] = []
+    best_prefix = 0
+    best_improvement = 0.0
+    improvement = 0.0
+    limit = max_moves if max_moves is not None else members.size
+    heappop, heappush = heapq.heappop, heapq.heappush
+
+    lo_ok = lo_bound - 1e-9
+    hi_ok = hi_bound + 1e-9
+    lo_slack = lo_bound - wmax - _TOL
+    hi_slack = hi_bound + wmax + _TOL
+    start_ok = lo_ok <= cw_i <= hi_ok and lo_ok <= cw_j <= hi_ok
+    while heap and len(moves) < limit:
+        neg_gain, v = heappop(heap)
+        if locked[v]:
+            continue
+        lv = labels[v]
+        if lv != i and lv != j:
+            continue
+        gv = gains[v]
+        if abs(gv + neg_gain) > _TOL:
+            heappush(heap, (-gv, v))
+            continue
+        wv = float(w[v])
+        if lv == i:
+            src, dst = i, j
+            new_src, new_dst = cw_i - wv, cw_j + wv
+        else:
+            src, dst = j, i
+            new_src, new_dst = cw_j - wv, cw_i + wv
+        if new_src < lo_slack or new_dst > hi_slack:
+            continue
+        labels[v] = dst
+        locked[v] = True
+        if src == i:
+            cw_i, cw_j = new_src, new_dst
+        else:
+            cw_j, cw_i = new_src, new_dst
+        improvement += gv
+        moves.append(v)
+        if (
+            improvement > best_improvement + _TOL
+            and lo_ok <= cw_i <= hi_ok
+            and lo_ok <= cw_j <= hi_ok
+        ):
+            best_improvement = improvement
+            best_prefix = len(moves)
+        # O(deg) delta update, members only: non-members never enter the
+        # heap (matching the reference push guard), so only their gains
+        # would go stale and none are tracked.
+        for t in range(int(indptr[v]), int(indptr[v + 1])):
+            u = int(nbr[t])
+            lu = labels[u]
+            if (lu == i or lu == j) and member_mask[u]:
+                c2 = 2.0 * float(acost[t])
+                gu = gains[u] + c2 if lu == src else gains[u] - c2
+                gains[u] = gu
+                if not locked[u]:
+                    heappush(heap, (-gu, u))
+    if best_prefix == 0 and not start_ok and moves:
+        return moves, False
+    for v in reversed(moves[best_prefix:]):
+        labels[v] = i if labels[v] == j else j
+    return moves[:best_prefix], best_prefix > 0
+
+
+def fm_pair_pass_reference(
+    g: Graph,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    i: int,
+    j: int,
+    lo_bound: float,
+    hi_bound: float,
+    max_moves: int | None = None,
+    movable: np.ndarray | None = None,
+    csr: tuple | None = None,
+) -> tuple[list[int], bool]:
+    """Recompute-on-pop FM pass (the pre-kernel implementation).
+
+    Same contract and same decisions as :func:`fm_pair_pass`; every gain is
+    recomputed from the CSR row instead of maintained incrementally.
+    ``csr`` is accepted for signature parity and ignored (this kernel reads
+    the numpy CSR directly).
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    in_pair = (labels == i) | (labels == j)
+    wmax = _pair_slack(w, in_pair)
+    if movable is not None:
+        in_pair = in_pair & movable
+    members = np.flatnonzero(in_pair).astype(np.int64)
+    if members.size == 0:
+        return [], False
+    cw_i = float(w[labels == i].sum())
+    cw_j = float(w[labels == j].sum())
+    arc_costs = g.arc_costs
+
+    def gain_of(v: int) -> float:
+        s, e = g.indptr[v], g.indptr[v + 1]
+        nbrs = g.nbr[s:e]
+        ecost = arc_costs[s:e]
+        own = labels[nbrs] == labels[v]
+        other = labels[nbrs] == (j if labels[v] == i else i)
+        return float(ecost[other].sum() - ecost[own].sum())
+
+    heap = [(-gain_of(int(v)), int(v)) for v in members]
+    heapq.heapify(heap)
+    locked = np.zeros(g.n, dtype=bool)
+    moves: list[int] = []
+    best_prefix = 0
+    best_improvement = 0.0
+    improvement = 0.0
+    limit = max_moves if max_moves is not None else members.size
+
+    def strictly_ok() -> bool:
+        return (
+            lo_bound - 1e-9 <= cw_i <= hi_bound + 1e-9
+            and lo_bound - 1e-9 <= cw_j <= hi_bound + 1e-9
+        )
+
+    start_ok = strictly_ok()
+    while heap and len(moves) < limit:
+        neg_gain, v = heapq.heappop(heap)
+        if locked[v] or labels[v] not in (i, j):
+            continue
+        gv = gain_of(v)
+        if abs(gv + neg_gain) > _TOL:
+            heapq.heappush(heap, (-gv, v))
+            continue
+        src, dst = (i, j) if labels[v] == i else (j, i)
+        new_src = (cw_i if src == i else cw_j) - w[v]
+        new_dst = (cw_j if src == i else cw_i) + w[v]
+        if new_src < lo_bound - wmax - _TOL or new_dst > hi_bound + wmax + _TOL:
+            continue
+        labels[v] = dst
+        locked[v] = True
+        if src == i:
+            cw_i, cw_j = new_src, new_dst
+        else:
+            cw_j, cw_i = new_src, new_dst
+        improvement += gv
+        moves.append(v)
+        if improvement > best_improvement + _TOL and strictly_ok():
+            best_improvement = improvement
+            best_prefix = len(moves)
+        s, e = g.indptr[v], g.indptr[v + 1]
+        for u in g.nbr[s:e]:
+            u = int(u)
+            if not locked[u] and labels[u] in (i, j) and (movable is None or movable[u]):
+                heapq.heappush(heap, (-gain_of(u), u))
+    if best_prefix == 0 and not start_ok and moves:
+        return moves, False
+    for v in reversed(moves[best_prefix:]):
+        labels[v] = i if labels[v] == j else j
+    return moves[:best_prefix], best_prefix > 0
+
+
+#: registry of interchangeable pair-pass kernels
+KERNELS = {
+    "incremental": fm_pair_pass,
+    "reference": fm_pair_pass_reference,
+}
+
+_default_kernel = "incremental"
+
+
+def default_kernel() -> str:
+    """Name of the kernel used when callers don't pick one explicitly."""
+    return _default_kernel
+
+
+def set_default_kernel(name: str) -> str:
+    """Set the process-wide default kernel; returns the previous name."""
+    global _default_kernel
+    if name not in KERNELS:
+        raise KeyError(f"unknown FM kernel {name!r} (have {sorted(KERNELS)})")
+    previous = _default_kernel
+    _default_kernel = name
+    return previous
+
+
+@contextmanager
+def kernel_override(name: str):
+    """Temporarily switch the default kernel (tests / ablation benchmarks)."""
+    previous = set_default_kernel(name)
+    try:
+        yield
+    finally:
+        set_default_kernel(previous)
+
+
+def run_pair_kernel(
+    g: Graph,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    i: int,
+    j: int,
+    lo_bound: float,
+    hi_bound: float,
+    max_moves: int | None = None,
+    movable: np.ndarray | None = None,
+    kernel: str | None = None,
+    csr: tuple | None = None,
+) -> tuple[list[int], bool]:
+    """Dispatch one FM pair pass to ``kernel`` (default: the module default).
+
+    ``csr`` optionally shares a precomputed ``Graph.csr_lists()`` tuple so
+    multi-pass callers amortize the list conversion across passes.
+    """
+    name = kernel if kernel is not None else _default_kernel
+    try:
+        fn = KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown FM kernel {name!r} (have {sorted(KERNELS)})") from None
+    return fn(g, labels, weights, i, j, lo_bound, hi_bound,
+              max_moves=max_moves, movable=movable, csr=csr)

@@ -11,16 +11,23 @@ Moves are evaluated on the *host* graph: flipping ``v`` from class ``i`` to
 ``j`` changes the total bichromatic cost by ``c(v→i edges) − c(v→j edges)``
 (edges to third classes are unaffected), so a pass can only reduce the total
 cut while the per-class weight windows are enforced exactly.
+
+The per-pair move loop itself lives in :mod:`repro.core.kernels` (the
+incremental gain-table kernel, with the historical recompute-on-pop loop
+kept as the ``reference`` ablation); this module owns the k-way
+orchestration, including incremental maintenance of the pair boundary costs
+across rounds — after a pass commits moves, only the pairs touched by the
+moved vertices' incident edges are re-aggregated instead of re-scanning all
+``m`` edges every round.
 """
 
 from __future__ import annotations
-
-import heapq
 
 import numpy as np
 
 from ..graphs.graph import Graph
 from .coloring import Coloring
+from .kernels import run_pair_kernel
 
 __all__ = ["kway_refine", "pairwise_refine"]
 
@@ -43,6 +50,52 @@ def _class_pair_costs(g: Graph, labels: np.ndarray, k: int) -> dict[tuple[int, i
     return out
 
 
+def _apply_move_deltas(
+    g: Graph,
+    labels: np.ndarray,
+    k: int,
+    pair_costs: dict[tuple[int, int], float],
+    moved: list[int],
+    i: int,
+    j: int,
+) -> None:
+    """Fold one pass's committed ``i``↔``j`` moves into ``pair_costs``.
+
+    Only edges incident to moved vertices can change pair membership, so the
+    update scans those edges once: the old endpoint labels are reconstructed
+    (a kept move flipped ``v`` between ``i`` and ``j``, so the previous label
+    is ``i + j − labels[v]``), the old pair contributions are subtracted and
+    the new ones added.  With integer-valued costs this reproduces a full
+    re-aggregation exactly; emptied pairs are dropped like the full scan
+    drops zero-cost pairs.
+    """
+    if not moved or g.m == 0:
+        return
+    mv = np.asarray(moved, dtype=np.int64)
+    eids = np.unique(np.concatenate([g.eid[g.indptr[v] : g.indptr[v + 1]] for v in moved]))
+    uu = g.edges[eids, 0]
+    vv = g.edges[eids, 1]
+    cc = g.costs[eids]
+    moved_mask = np.zeros(g.n, dtype=bool)
+    moved_mask[mv] = True
+    lu_new = labels[uu]
+    lv_new = labels[vv]
+    lu_old = np.where(moved_mask[uu], i + j - lu_new, lu_new)
+    lv_old = np.where(moved_mask[vv], i + j - lv_new, lv_new)
+    for a, b, sign in ((lu_old, lv_old, -1.0), (lu_new, lv_new, 1.0)):
+        sel = (a != b) & (a >= 0) & (b >= 0)
+        if not np.any(sel):
+            continue
+        lo = np.minimum(a[sel], b[sel])
+        hi = np.maximum(a[sel], b[sel])
+        sums = np.bincount(lo * k + hi, weights=cc[sel] * sign, minlength=k * k)
+        for key in np.flatnonzero(sums != 0):
+            pair = (int(key) // k, int(key) % k)
+            pair_costs[pair] = pair_costs.get(pair, 0.0) + float(sums[key])
+    for pair in [p for p, c in pair_costs.items() if c <= 1e-12]:
+        del pair_costs[pair]
+
+
 def pairwise_refine(
     g: Graph,
     labels: np.ndarray,
@@ -53,92 +106,27 @@ def pairwise_refine(
     hi_bound: float,
     max_moves: int | None = None,
     movable: np.ndarray | None = None,
+    kernel: str | None = None,
 ) -> bool:
     """One FM pass moving vertices between classes ``i`` and ``j`` in place.
 
     ``lo_bound``/``hi_bound`` are the global per-class weight limits
     (Definition 1's window around the average); moves violating them are
     skipped.  ``movable`` (optional boolean mask) restricts which vertices
-    may change class — the streaming repairer passes the dirty-region halo
-    so a localized perturbation costs localized work — while the weight
-    window is still accounted over the *full* classes, so restricted passes
-    preserve strict balance exactly like unrestricted ones.  Returns True
-    when any move was kept.
+    may change class — the streaming repairer passes the dirty-region halo,
+    and the incremental kernel's restricted path keeps that pass's work
+    proportional to the halo's degree sum (plus the O(n) class-weight sums
+    the window accounting inherently needs) — while the weight window is
+    still accounted over the *full* classes, so restricted passes preserve
+    strict balance exactly like unrestricted ones.  ``kernel``
+    picks the move kernel (see :mod:`repro.core.kernels`; default is the
+    incremental gain-table kernel).  Returns True when any move was kept.
     """
-    w = np.asarray(weights, dtype=np.float64)
-    in_pair = (labels == i) | (labels == j)
-    if movable is not None:
-        in_pair &= movable
-    members = np.flatnonzero(in_pair).astype(np.int64)
-    if members.size == 0:
-        return False
-    cw_i = float(w[labels == i].sum())
-    cw_j = float(w[labels == j].sum())
-
-    def gain_of(v: int) -> float:
-        s, e = g.indptr[v], g.indptr[v + 1]
-        nbrs = g.nbr[s:e]
-        ecost = g.costs[g.eid[s:e]]
-        own = labels[nbrs] == labels[v]
-        other = labels[nbrs] == (j if labels[v] == i else i)
-        return float(ecost[other].sum() - ecost[own].sum())
-
-    heap = [(-gain_of(int(v)), int(v)) for v in members]
-    heapq.heapify(heap)
-    locked = np.zeros(g.n, dtype=bool)
-    moves: list[int] = []
-    best_prefix = 0
-    best_improvement = 0.0
-    improvement = 0.0
-    wmax = float(w[members].max()) if members.size else 0.0
-    limit = max_moves if max_moves is not None else members.size
-
-    def strictly_ok() -> bool:
-        return (
-            lo_bound - 1e-9 <= cw_i <= hi_bound + 1e-9
-            and lo_bound - 1e-9 <= cw_j <= hi_bound + 1e-9
-        )
-
-    start_ok = strictly_ok()
-    while heap and len(moves) < limit:
-        neg_gain, v = heapq.heappop(heap)
-        if locked[v] or labels[v] not in (i, j):
-            continue
-        gv = gain_of(v)
-        if abs(gv + neg_gain) > 1e-12:
-            heapq.heappush(heap, (-gv, v))
-            continue
-        src, dst = (i, j) if labels[v] == i else (j, i)
-        new_src = (cw_i if src == i else cw_j) - w[v]
-        new_dst = (cw_j if src == i else cw_i) + w[v]
-        # FM discipline: allow one-move overshoot past the strict window;
-        # only strictly-valid intermediate states can become the result.
-        if new_src < lo_bound - wmax - 1e-12 or new_dst > hi_bound + wmax + 1e-12:
-            continue
-        labels[v] = dst
-        locked[v] = True
-        if src == i:
-            cw_i, cw_j = new_src, new_dst
-        else:
-            cw_j, cw_i = new_src, new_dst
-        improvement += gv
-        moves.append(v)
-        if improvement > best_improvement + 1e-12 and strictly_ok():
-            best_improvement = improvement
-            best_prefix = len(moves)
-        s, e = g.indptr[v], g.indptr[v + 1]
-        for u in g.nbr[s:e]:
-            u = int(u)
-            if not locked[u] and labels[u] in (i, j) and (movable is None or movable[u]):
-                heapq.heappush(heap, (-gain_of(u), u))
-    # rollback past the best strictly-valid prefix; if the input itself was
-    # outside the window (shouldn't happen), keep the best effort instead of
-    # rolling back to an invalid start
-    if best_prefix == 0 and not start_ok and moves:
-        return False
-    for v in reversed(moves[best_prefix:]):
-        labels[v] = i if labels[v] == j else j
-    return best_prefix > 0
+    _, improved = run_pair_kernel(
+        g, labels, weights, i, j, lo_bound, hi_bound,
+        max_moves=max_moves, movable=movable, kernel=kernel,
+    )
+    return improved
 
 
 def kway_refine(
@@ -147,6 +135,7 @@ def kway_refine(
     weights: np.ndarray,
     rounds: int = 2,
     max_pairs_per_round: int | None = None,
+    incremental_pair_costs: bool = True,
 ) -> Coloring:
     """Refine a strictly balanced k-coloring without leaving the window.
 
@@ -154,6 +143,14 @@ def kway_refine(
     runs one balance-constrained FM pass per pair.  Strict balance
     (Definition 1) is preserved *exactly*: per-class weights never leave
     ``[avg − (1−1/k)‖w‖∞, avg + (1−1/k)‖w‖∞]``.
+
+    Pair boundary costs are aggregated once up front and then maintained
+    incrementally from the kernels' committed moves (only pairs touched by
+    accepted moves are re-aggregated); ``incremental_pair_costs=False``
+    falls back to a full ``_class_pair_costs`` scan every round (the
+    pre-kernel behavior, kept for equivalence tests).  Ties in the pair
+    order break on the ``(i, j)`` ids, matching the full scan's ascending
+    insertion order, so both modes visit pairs identically.
     """
     k = coloring.k
     w = np.asarray(weights, dtype=np.float64)
@@ -168,15 +165,25 @@ def kway_refine(
     lo_bound = avg - window
     hi_bound = avg + window
     budget = max_pairs_per_round if max_pairs_per_round is not None else 2 * k
+    pair_costs = _class_pair_costs(g, labels, k)
+    # one list conversion shared by every pass of every round (csr_lists is
+    # deliberately not cached on the graph — see Graph.csr_lists)
+    csr = g.csr_lists()
     for _ in range(max(0, rounds)):
-        pair_costs = _class_pair_costs(g, labels, k)
         if not pair_costs:
             break
-        pairs = sorted(pair_costs.items(), key=lambda kv: -kv[1])[:budget]
+        pairs = sorted(pair_costs.items(), key=lambda kv: (-kv[1], kv[0]))[:budget]
         changed = False
         for (i, j), _cost in pairs:
-            if pairwise_refine(g, labels, w, i, j, lo_bound, hi_bound):
+            kept, improved = run_pair_kernel(
+                g, labels, w, i, j, lo_bound, hi_bound, csr=csr
+            )
+            if improved:
                 changed = True
+            if kept and incremental_pair_costs:
+                _apply_move_deltas(g, labels, k, pair_costs, kept, i, j)
         if not changed:
             break
+        if not incremental_pair_costs:
+            pair_costs = _class_pair_costs(g, labels, k)
     return Coloring(labels, k)

@@ -44,7 +44,9 @@ class Graph:
         consumed by the §6 grid machinery and grid vertex orders.
     """
 
-    __slots__ = ("n", "m", "edges", "costs", "indptr", "nbr", "eid", "coords")
+    __slots__ = (
+        "n", "m", "edges", "costs", "indptr", "nbr", "eid", "coords", "_arc_costs",
+    )
 
     def __init__(self, n, edges, costs=None, coords=None, _validate: bool = True):
         n = int(n)
@@ -81,6 +83,7 @@ class Graph:
                 raise ValueError("coords must have one row per vertex")
             coords.setflags(write=False)
         self.coords = coords
+        self._arc_costs = None
         self._build_csr()
 
     # ------------------------------------------------------------------
@@ -128,6 +131,36 @@ class Graph:
     def incident_edges(self, v: int) -> np.ndarray:
         """Edge ids incident to ``v``."""
         return self.eid[self.indptr[v] : self.indptr[v + 1]]
+
+    @property
+    def arc_costs(self) -> np.ndarray:
+        """Per-arc edge costs aligned with the CSR arrays (lazy, cached).
+
+        ``arc_costs[t] == costs[eid[t]]``, so ``arc_costs[indptr[v]:indptr[v+1]]``
+        are the costs of ``v``'s incident edges in ``neighbors(v)`` order.  The
+        gather is computed once on first access and cached read-only (the graph
+        is immutable), replacing the ``costs[eid[s:e]]`` fancy indexing the FM
+        hot loops used to redo on every call.
+        """
+        ac = self._arc_costs
+        if ac is None:
+            ac = self.costs[self.eid]
+            ac.setflags(write=False)
+            self._arc_costs = ac
+        return ac
+
+    def csr_lists(self) -> tuple[list, list, list]:
+        """``(indptr, nbr, arc_costs)`` as Python lists (fresh, uncached).
+
+        The FM move kernels walk a handful of neighbors per committed move;
+        at that granularity scalar reads from Python lists are an order of
+        magnitude cheaper than numpy element access.  The conversion is
+        *not* cached on the graph — boxed lists are several times the CSR's
+        numpy footprint and would silently outlive any cache accounting —
+        so multi-pass callers (``kway_refine``, the multilevel baseline)
+        convert once per call and share the tuple across their passes.
+        """
+        return (self.indptr.tolist(), self.nbr.tolist(), self.arc_costs.tolist())
 
     def degree(self) -> np.ndarray:
         """Vertex degrees as an ``(n,)`` int array."""

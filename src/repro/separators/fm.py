@@ -51,7 +51,7 @@ def fm_refine(
     def gain_of(v: int) -> float:
         s, e = g.indptr[v], g.indptr[v + 1]
         nbrs = g.nbr[s:e]
-        ecost = g.costs[g.eid[s:e]]
+        ecost = g.arc_costs[s:e]
         same = inside[nbrs] == inside[v]
         return float(ecost[~same].sum() - ecost[same].sum())
 

@@ -7,8 +7,8 @@ the full Theorem 4 pipeline after every mutation batch, it
    mutations pushed class weights outside it (:func:`restore_window`),
 2. runs *localized* Fiduccia–Mattheyses refinement seeded from the dirty
    region — only class pairs that touch mutated vertices are refined, via
-   the same window-preserving :func:`~repro.core.refine.pairwise_refine`
-   the static pipeline's post-pass uses (:func:`local_repair`), and
+   the same window-preserving FM kernel (:mod:`repro.core.kernels`) the
+   static pipeline's post-pass uses (:func:`local_repair`), and
 3. leaves the recompute decision to a drift monitor: the session triggers a
    full solve when the repaired max boundary cost exceeds
    ``gamma × max(cheap lower bound, last full solve)``.
@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.refine import pairwise_refine
+from ..core.kernels import run_pair_kernel
 from ..graphs.components import bfs_levels, is_connected
 from ..graphs.graph import Graph
 
@@ -93,7 +93,7 @@ def _boundary_movers(g: Graph, labels: np.ndarray, cls: int) -> list[tuple[float
     for v in members.tolist():
         s, e = g.indptr[v], g.indptr[v + 1]
         nbr_labels = labels[g.nbr[s:e]]
-        ecost = g.costs[g.eid[s:e]]
+        ecost = g.arc_costs[s:e]
         foreign = (nbr_labels != cls) & (nbr_labels >= 0)
         if not np.any(foreign):
             continue
@@ -150,7 +150,7 @@ def restore_window(
             members = np.flatnonzero(labels == cls)
             for v in members.tolist():
                 s, e = g.indptr[v], g.indptr[v + 1]
-                for u, c in zip(g.nbr[s:e].tolist(), g.costs[g.eid[s:e]].tolist()):
+                for u, c in zip(g.nbr[s:e].tolist(), g.arc_costs[s:e].tolist()):
                     src = labels[u]
                     if src < 0 or src == cls:
                         continue
@@ -227,11 +227,16 @@ def local_repair(
         movable = (levels >= 0) & (levels <= halo_hops)
     else:  # pragma: no cover - guarded above
         movable = np.ones(g.n, dtype=bool)
+    # dense halos route the kernel to its list-based path: convert the CSR
+    # once for all rounds x pairs.  Sparse halos (members <= n/8 for every
+    # pair, since members ⊆ movable) always take the restricted path, which
+    # never reads the lists — skip the O(n + m) boxing entirely.
+    csr = g.csr_lists() if int(np.count_nonzero(movable)) * 8 > g.n else None
     refined = 0
     for _ in range(max(1, rounds)):
         changed = False
         for i, j in pairs:
-            if pairwise_refine(g, labels, w, i, j, lo, hi, movable=movable):
+            if run_pair_kernel(g, labels, w, i, j, lo, hi, movable=movable, csr=csr)[1]:
                 changed = True
                 refined += 1
         if not changed:

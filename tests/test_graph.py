@@ -79,6 +79,27 @@ class TestAdjacency:
         assert np.allclose(tau, [8.0, 5.0, 5.0, 12.0])
         assert g.max_cost_degree() == 12.0
 
+    def test_arc_costs_aligned_and_cached(self):
+        g = square()
+        ac = g.arc_costs
+        assert np.array_equal(ac, g.costs[g.eid])
+        # cached: the second access returns the same read-only array
+        assert g.arc_costs is ac
+        assert not ac.flags.writeable
+        with pytest.raises(ValueError):
+            ac[0] = 99.0
+
+    def test_csr_lists_consistent_and_uncached(self):
+        g = square()
+        indptr, nbr, acost = g.csr_lists()
+        assert indptr == g.indptr.tolist()
+        assert nbr == g.nbr.tolist()
+        assert acost == g.arc_costs.tolist()
+        # deliberately NOT cached: boxed lists would outlive cache accounting
+        again = g.csr_lists()
+        assert again[1] is not nbr
+        assert again[1] == nbr
+
 
 class TestCuts:
     def test_boundary_cost_single_vertex(self):

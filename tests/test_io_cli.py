@@ -106,6 +106,27 @@ class TestCli:
         assert rc == 0
         assert "strictly balanced" in capsys.readouterr().out
 
+    def test_profile_prints_hotspot_table(self, capsys):
+        rc = main(["profile", "--family", "grid", "--size", "6", "--k", "2",
+                   "--algorithm", "greedy", "--top", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile — 1 scenario(s)" in out
+        assert "cumtime s" in out
+        # header + separator + at most --top rows + note
+        rows = [ln for ln in out.splitlines() if ln.count("|") >= 4]
+        assert 1 <= len(rows) - 1 <= 6
+
+    def test_profile_sort_tottime(self, capsys):
+        rc = main(["profile", "--family", "grid", "--size", "6", "--k", "2",
+                   "--algorithm", "greedy", "--top", "3", "--sort", "tottime"])
+        assert rc == 0
+        assert "sorted by tottime" in capsys.readouterr().out
+
+    def test_profile_needs_axes(self):
+        with pytest.raises(SystemExit):
+            main(["profile"])
+
     def test_weights_size_mismatch(self, tmp_path):
         g = grid_graph(3, 3)
         gpath = tmp_path / "g.txt"

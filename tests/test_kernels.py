@@ -1,0 +1,250 @@
+"""Equivalence and tie-breaking tests for the FM move kernels.
+
+The incremental gain-table kernel must make byte-identical decisions to the
+historical recompute-on-pop loop (kept as ``reference``): same moves, same
+order, same kept prefix.  Instances here use integer-valued edge costs so
+every gain is exact in both kernels and equality is literal, including
+zero-cost edges, ``movable`` masks, uncolored vertices, and singleton
+classes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Coloring, kway_refine
+from repro.core.kernels import (
+    KERNELS,
+    default_kernel,
+    fm_pair_pass,
+    fm_pair_pass_reference,
+    kernel_override,
+    run_pair_kernel,
+    set_default_kernel,
+)
+from repro.graphs import grid_graph, triangulated_mesh
+from repro.graphs.graph import Graph
+
+
+def random_instance(rng, *, with_uncolored=False, singleton=False):
+    """A random simple graph with integer costs/weights and a k-labeling."""
+    n = int(rng.integers(12, 48))
+    # sample unique undirected pairs
+    want = int(rng.integers(n, 3 * n))
+    uu = rng.integers(0, n, size=4 * want)
+    vv = rng.integers(0, n, size=4 * want)
+    keep = uu != vv
+    lo = np.minimum(uu[keep], vv[keep])
+    hi = np.maximum(uu[keep], vv[keep])
+    keys = np.unique(lo * n + hi)[:want]
+    edges = np.column_stack([keys // n, keys % n])
+    # integer costs, zeros included: gains stay exact in both kernels
+    costs = rng.integers(0, 7, size=edges.shape[0]).astype(np.float64)
+    g = Graph(n, edges, costs)
+    w = rng.integers(1, 6, size=n).astype(np.float64)
+    k = int(rng.integers(2, 5))
+    labels = rng.integers(0, k, size=n).astype(np.int64)
+    if singleton:
+        # class 0 collapses to a single vertex
+        labels[labels == 0] = 1
+        labels[int(rng.integers(0, n))] = 0
+    if with_uncolored:
+        labels[rng.random(n) < 0.15] = -1
+    return g, w, k, labels
+
+
+def both_kernels(g, labels, w, i, j, lo, hi, **kw):
+    la = labels.copy()
+    lb = labels.copy()
+    ra = fm_pair_pass_reference(g, la, w, i, j, lo, hi, **kw)
+    rb = fm_pair_pass(g, lb, w, i, j, lo, hi, **kw)
+    return (la, ra), (lb, rb)
+
+
+class TestPairEquivalence:
+    @pytest.mark.parametrize("trial", range(20))
+    def test_random_instances(self, trial):
+        rng = np.random.default_rng(100 + trial)
+        g, w, k, labels = random_instance(
+            rng,
+            with_uncolored=trial % 3 == 0,
+            singleton=trial % 4 == 0,
+        )
+        total = float(w[labels >= 0].sum())
+        avg = total / k
+        span = float(w.max()) * (1.0 - 1.0 / k)
+        movable = None
+        if trial % 2 == 0:
+            movable = rng.random(g.n) < 0.6
+        i, j = 0, 1
+        (la, ra), (lb, rb) = both_kernels(
+            g, labels, w, i, j, avg - span, avg + span, movable=movable
+        )
+        assert np.array_equal(la, lb)
+        assert ra == rb
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_sparse_halo_restricted_path(self, trial):
+        """Sparse ``movable`` masks (members*8 <= n) take the kernel's
+        restricted path; it must match the reference exactly too."""
+        from repro.graphs.components import bfs_levels
+
+        rng = np.random.default_rng(600 + trial)
+        g = grid_graph(20, 20)
+        g = g.with_costs(rng.integers(0, 5, g.m).astype(np.float64))
+        w = rng.integers(1, 5, g.n).astype(np.float64)
+        k = 3
+        labels = rng.integers(0, k, g.n).astype(np.int64)
+        seed = int(rng.integers(0, g.n))
+        levels = bfs_levels(g, np.asarray([seed]))
+        movable = (levels >= 0) & (levels <= 2)
+        in_pair = (labels == 0) | (labels == 1)
+        assert np.flatnonzero(in_pair & movable).size * 8 <= g.n
+        total = float(w.sum())
+        avg = total / k
+        span = float(w.max()) * (1.0 - 1.0 / k)
+        (la, ra), (lb, rb) = both_kernels(
+            g, labels, w, 0, 1, avg - span, avg + span, movable=movable
+        )
+        assert np.array_equal(la, lb)
+        assert ra == rb
+
+    @pytest.mark.parametrize("max_moves", [0, 1, 2, 3, 7, None])
+    def test_truncation_determinism(self, max_moves):
+        """Both kernels agree at every ``max_moves`` truncation point."""
+        rng = np.random.default_rng(7)
+        g, w, k, labels = random_instance(rng)
+        total = float(w.sum())
+        avg = total / k
+        span = float(w.max()) * (1.0 - 1.0 / k)
+        (la, ra), (lb, rb) = both_kernels(
+            g, labels, w, 0, 1, avg - span, avg + span, max_moves=max_moves
+        )
+        assert np.array_equal(la, lb)
+        assert ra == rb
+        if max_moves == 0:
+            assert ra == ([], False)
+            assert np.array_equal(la, labels)
+
+    def test_zero_cost_edges_only(self):
+        """All-zero costs: no gain anywhere, both kernels keep nothing."""
+        g = grid_graph(5, 5)
+        g = g.with_costs(np.zeros(g.m))
+        labels = (np.arange(g.n) % 2).astype(np.int64)
+        w = np.ones(g.n)
+        (la, ra), (lb, rb) = both_kernels(g, labels, w, 0, 1, 0.0, 100.0)
+        assert ra == rb == ([], False)
+        assert np.array_equal(la, lb)
+
+    def test_empty_pair(self):
+        g = grid_graph(4, 4)
+        labels = np.full(g.n, 2, dtype=np.int64)
+        out = fm_pair_pass(g, labels, np.ones(g.n), 0, 1, 0.0, 100.0)
+        assert out == ([], False)
+
+    def test_tie_breaks_on_vertex_id(self):
+        """Equal gains pop in ascending vertex order in both kernels."""
+        # v0..v3 in two classes; the two cut edges have equal cost, so v0
+        # and v1 tie at gain +1 and v0 (the smaller id) must move first.
+        edges = [(0, 2), (1, 3)]
+        g = Graph(4, np.asarray(edges), np.ones(2))
+        labels = np.asarray([0, 0, 1, 1], dtype=np.int64)
+        w = np.ones(4)
+        for fn in (fm_pair_pass_reference, fm_pair_pass):
+            lab = labels.copy()
+            kept, improved = fn(g, lab, w, 0, 1, 0.0, 10.0, max_moves=1)
+            assert kept == [0]
+            assert improved
+            assert lab.tolist() == [1, 0, 1, 1]
+
+
+class TestWindowSlack:
+    def test_slack_uses_full_pair_not_movable_members(self):
+        """A ``movable`` mask must not shrink the one-move overshoot slack.
+
+        The heaviest pair vertex (w=10) is immovable; the movable members
+        weigh at most 3.  The improving sequence below stacks two moves into
+        class 0 (intermediate weight 22, i.e. hi + 6) before two moves out
+        restore the window — legal under the full-pair slack of 10, but
+        rejected if the slack were computed over movable members only (3).
+        """
+        #       v0 (w=10, cls 0, frozen)   v5 (w=1, cls 1, frozen)
+        # v1, v2 (w=3, cls 1) pulled into 0; v3, v4 (w=3, cls 0) into 1.
+        edges = np.asarray([(0, 1), (0, 2), (3, 5), (4, 5)])
+        costs = np.asarray([5.0, 4.0, 3.0, 2.0])
+        g = Graph(6, edges, costs)
+        w = np.asarray([10.0, 3.0, 3.0, 3.0, 3.0, 1.0])
+        labels = np.asarray([0, 1, 1, 0, 0, 1], dtype=np.int64)
+        movable = np.asarray([False, True, True, True, True, False])
+        lo, hi = 5.0, 16.0
+        for fn in (fm_pair_pass_reference, fm_pair_pass):
+            lab = labels.copy()
+            kept, improved = fn(g, lab, w, 0, 1, lo, hi, movable=movable)
+            assert improved
+            assert kept == [1, 2, 3, 4]
+            assert lab.tolist() == [0, 0, 0, 1, 1, 1]
+            # the deep-slack basin removes the whole cut
+            assert g.boundary_cost(lab == 0) == 0.0
+            cw = np.bincount(lab, weights=w, minlength=2)
+            assert lo <= cw[0] <= hi and lo <= cw[1] <= hi
+
+
+class TestKwayIncrementalPairCosts:
+    @pytest.mark.parametrize("trial", range(8))
+    def test_matches_full_rescan(self, trial):
+        rng = np.random.default_rng(300 + trial)
+        g, w, k, _ = random_instance(rng)
+        labels = np.repeat(np.arange(k), g.n // k + 1)[: g.n].astype(np.int64)
+        rng.shuffle(labels)
+        chi = Coloring(labels, k)
+        fast = kway_refine(g, chi, w, rounds=3)
+        slow = kway_refine(g, chi, w, rounds=3, incremental_pair_costs=False)
+        assert np.array_equal(fast.labels, slow.labels)
+
+    def test_mesh_reference_stack_vs_incremental_stack(self):
+        """Old stack (reference kernel + rescan) == new stack, end to end."""
+        g = triangulated_mesh(9, 9)
+        w = np.ones(g.n)
+        k = 4
+        labels = np.repeat(np.arange(k), g.n // k + 1)[: g.n].astype(np.int64)
+        np.random.default_rng(5).shuffle(labels)
+        chi = Coloring(labels, k)
+        new = kway_refine(g, chi, w, rounds=4)
+        with kernel_override("reference"):
+            old = kway_refine(g, chi, w, rounds=4, incremental_pair_costs=False)
+        assert np.array_equal(new.labels, old.labels)
+
+
+class TestKernelRegistry:
+    def test_default_and_override(self):
+        assert default_kernel() == "incremental"
+        with kernel_override("reference"):
+            assert default_kernel() == "reference"
+        assert default_kernel() == "incremental"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            set_default_kernel("nope")
+        g = grid_graph(3, 3)
+        with pytest.raises(KeyError):
+            run_pair_kernel(
+                g, np.zeros(g.n, dtype=np.int64), np.ones(g.n), 0, 1, 0.0, 9.0,
+                kernel="nope",
+            )
+
+    def test_registry_names(self):
+        assert set(KERNELS) == {"incremental", "reference"}
+
+
+class TestGoldenSmokeGrid:
+    def test_smoke_grid_byte_identical_across_kernels(self):
+        """The CI smoke grid solved with both kernels yields identical
+        records — the golden gate for swapping the default kernel."""
+        from repro.cli import SWEEP_PRESETS
+        from repro.runtime import ScenarioGrid, results_to_dict, run_sweep
+
+        grid = ScenarioGrid(**SWEEP_PRESETS["smoke"])
+        scenarios = grid.scenarios()
+        new = results_to_dict(run_sweep(scenarios, workers=1))
+        with kernel_override("reference"):
+            old = results_to_dict(run_sweep(scenarios, workers=1))
+        assert new == old
