@@ -115,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--session-ttl", type=float, default=900.0,
                     help="expire streaming sessions idle for this many seconds "
                     "(enforced when the session limit is hit; 0 disables)")
+    sv.add_argument("--journal-dir",
+                    help="persist per-session mutation journals here; a "
+                    "streaming session whose shard worker crashes is then "
+                    "rebuilt by replaying its journal instead of being lost")
+    sv.add_argument("--no-recovery", action="store_true",
+                    help="escape hatch: keep journaling (if --journal-dir is "
+                    "set) but never replay — crashed sessions report "
+                    "'session lost' as without a journal")
 
     pf = sub.add_parser("profile",
                         help="run a scenario grid under cProfile and print the "
@@ -358,18 +366,26 @@ def _run_serve(args) -> int:
     import asyncio
 
     from .service import DecompositionService, serve
+    from .stream import JournalError
 
-    service = DecompositionService(
-        shards=args.shards,
-        cache_size=args.cache_size,
-        max_batch_size=args.max_batch_size,
-        max_wait_ms=args.max_wait_ms,
-        cache_dir=args.cache_dir,
-        npz_root=args.npz_root,
-        cache_max_bytes=args.cache_max_bytes,
-        max_sessions=args.max_sessions,
-        session_ttl=args.session_ttl,
-    )
+    try:
+        service = DecompositionService(
+            shards=args.shards,
+            cache_size=args.cache_size,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            cache_dir=args.cache_dir,
+            npz_root=args.npz_root,
+            cache_max_bytes=args.cache_max_bytes,
+            max_sessions=args.max_sessions,
+            session_ttl=args.session_ttl,
+            journal_dir=args.journal_dir,
+            recovery=not args.no_recovery,
+        )
+    except (JournalError, OSError) as exc:
+        # an unusable --journal-dir (unwritable, or owned by another
+        # server) is an operator error: one line, not a traceback
+        raise SystemExit(f"serve: {exc}") from exc
 
     def _ready(host, port):
         print(f"serve: listening on {host}:{port} "
@@ -514,9 +530,17 @@ def _run_loadgen_churn(args, scenarios) -> int:
         bodies_path.write_text(_json.dumps(bodies, sort_keys=True, indent=2) + "\n")
         print(f"wrote {bodies_path}", file=sys.stderr)
     status = 0
+    if report["recovered_sessions"]:
+        print(f"loadgen: {report['recovered_sessions']} session(s) recovered by "
+              f"journal replay", file=sys.stderr)
     if report["errors"]:
         print(f"loadgen: {len(report['errors'])} session op(s) failed, e.g. "
               f"{report['errors'][0]['error']}", file=sys.stderr)
+        status = 1
+    if report["lost_sessions"]:
+        print(f"loadgen: {len(report['lost_sessions'])} session(s) lost to shard "
+              f"crashes (not recovered), e.g. {report['lost_sessions'][0]['error']}",
+              file=sys.stderr)
         status = 1
     if args.min_rps is not None:
         if report["throughput_rps"] < args.min_rps:

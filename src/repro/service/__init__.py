@@ -14,7 +14,10 @@ Streaming sessions (:mod:`.sessions`) make the service stateful on demand:
 :class:`~repro.stream.StreamSession` living inside the shard that owns the
 scenario's instance hash, with snapshots byte-identical across shard
 counts.  Long-lived clients are kept honest by ``serve --idle-timeout``
-(``ping`` is the heartbeat).
+(``ping`` is the heartbeat).  With ``serve --journal-dir``, sessions are
+crash-safe: each one's mutation log is journaled on disk and replayed into
+the respawned worker after a shard crash, byte-identically (see the
+server module and :mod:`repro.stream.journal`).
 
 Quick use::
 

@@ -246,7 +246,14 @@ async def run_churn(
 
     Returns ``{"report", "bodies"}`` where bodies maps ``session@step`` (and
     ``session@open`` / ``session@close``) to canonical snapshot JSON —
-    deterministic, so CI diffs it across shard counts.
+    deterministic, so CI diffs it across shard counts.  Failed ops land in
+    the report's ``errors`` list, except ``session lost`` replies, which are
+    classified into ``lost_sessions``; together with ``recovered_sessions``
+    (the change in the server's replay-recovery counter over this run) that
+    makes the crash-recovery rate observable from the report alone.  The
+    counter is server-global, so on a server shared with other concurrent
+    clients the delta includes their recoveries too; the CI chaos jobs run
+    one loadgen against a dedicated server, where it is exact.
     """
     connections = max(1, min(int(connections), len(specs) or 1))
     clients = await asyncio.gather(
@@ -254,7 +261,16 @@ async def run_churn(
     )
     bodies: dict[str, str] = {}
     errors: list[dict] = []
+    lost: list[dict] = []
     latencies: list[float] = []
+
+    def fail(sid: str, op: str, error) -> None:
+        # "session lost" is the recovery-observable failure class: a shard
+        # crashed and (journaling off, or replay exhausted/diverged) the
+        # session could not be rebuilt.  Classify it apart from generic
+        # failures so the recovery rate is readable off the report.
+        record = {"session": sid, "op": op, "error": error}
+        (lost if "session lost" in str(error or "") else errors).append(record)
 
     async def drive(client: ServiceClient, spec: dict, index: int) -> None:
         sid = f"churn-{index}"
@@ -262,7 +278,7 @@ async def run_churn(
         opened = await client.open_stream(sid, spec)
         latencies.append(time.perf_counter() - t0)
         if not opened.get("ok"):
-            errors.append({"session": sid, "op": "open", "error": opened.get("error")})
+            fail(sid, "open", opened.get("error"))
             return
         bodies[f"{sid}@open"] = canonical_record(opened["snapshot"])
         for step in range(1, int(steps) + 1):
@@ -270,20 +286,16 @@ async def run_churn(
             mutated = await client.mutate(sid, steps=1)
             latencies.append(time.perf_counter() - t0)
             if not mutated.get("ok"):
-                errors.append(
-                    {"session": sid, "op": f"mutate@{step}", "error": mutated.get("error")}
-                )
+                fail(sid, f"mutate@{step}", mutated.get("error"))
                 return
             snap = await client.snapshot(sid)
             if not snap.get("ok"):
-                errors.append(
-                    {"session": sid, "op": f"snapshot@{step}", "error": snap.get("error")}
-                )
+                fail(sid, f"snapshot@{step}", snap.get("error"))
                 return
             bodies[f"{sid}@{step}"] = canonical_record(snap["snapshot"])
         closed = await client.close_stream(sid)
         if not closed.get("ok"):
-            errors.append({"session": sid, "op": "close", "error": closed.get("error")})
+            fail(sid, "close", closed.get("error"))
             return
         bodies[f"{sid}@close"] = canonical_record(closed["snapshot"])
 
@@ -291,8 +303,11 @@ async def run_churn(
         for index in range(conn_index, len(specs), connections):
             await drive(clients[conn_index], specs[index], index)
 
-    t0 = time.perf_counter()
     try:
+        # baseline for per-run deltas: a shared long-lived server may carry
+        # recoveries from earlier clients, which are not this run's
+        before = await clients[0].stats()
+        t0 = time.perf_counter()
         await asyncio.gather(*(worker(c) for c in range(connections)))
         wall = time.perf_counter() - t0
         server_stats = await clients[0].stats()
@@ -300,6 +315,8 @@ async def run_churn(
             await clients[0].shutdown()
     finally:
         await asyncio.gather(*(c.close() for c in clients), return_exceptions=True)
+    stats = server_stats.get("stats", {})
+    recovered_before = before.get("stats", {}).get("sessions", {}).get("recovered", 0)
     report = {
         "mode": "churn",
         "sessions": len(specs),
@@ -310,6 +327,9 @@ async def run_churn(
         "throughput_rps": round(len(latencies) / wall, 1) if wall > 0 else 0.0,
         "latency": latency_summary(latencies),
         "errors": errors,
-        "server_stats": server_stats.get("stats", {}),
+        "lost_sessions": lost,
+        "recovered_sessions":
+            stats.get("sessions", {}).get("recovered", 0) - recovered_before,
+        "server_stats": stats,
     }
     return {"report": report, "bodies": dict(sorted(bodies.items()))}

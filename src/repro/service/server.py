@@ -46,7 +46,18 @@ class ServiceError(Exception):
 
 
 class DecompositionService:
-    """Ties the cache, batcher, and shard pool together behind ``submit``."""
+    """Ties the cache, batcher, and shard pool together behind ``submit``.
+
+    With ``journal_dir`` set, streaming sessions are additionally
+    **crash-safe**: every acknowledged mutate is appended to the session's
+    on-disk mutation journal, and when a shard worker dies the server
+    replays the journal into the respawned worker and retries the
+    interrupted request — the recovered session is byte-identical to one
+    that never crashed (replay verifies the journaled ``(version, hash)``
+    fingerprints at every step).  Without a journal directory — or with
+    ``recovery=False`` — a crash surfaces as ``session lost`` exactly as
+    before.
+    """
 
     def __init__(
         self,
@@ -59,9 +70,38 @@ class DecompositionService:
         cache_max_bytes: int | None = None,
         max_sessions: int = 64,
         session_ttl: float = 900.0,
+        journal_dir=None,
+        recovery: bool = True,
+        recovery_attempts: int = 3,
     ):
         self.cache = ColoringCache(maxsize=cache_size, max_bytes=cache_max_bytes)
         self.pool = ShardPool(shards=shards, cache_dir=cache_dir)
+        #: crash-safe streaming: with a journal directory, every session's
+        #: mutation log is persisted (append-only, fsync-batched) and a
+        #: session whose worker crashed is rebuilt by replaying the log into
+        #: the respawned worker — ``recovery=False`` is the escape hatch
+        #: that keeps journaling but restores the old terminal-loss behavior
+        self.journal = None
+        if journal_dir is not None:
+            from ..stream import JournalStore
+
+            try:
+                self.journal = JournalStore(journal_dir)
+                # startup sweep: sessions never survive a server restart, so
+                # any leftover journal is an orphan holding disk for a dead
+                # session (sound: the store holds the directory owner lock)
+                self.journal.sweep(live_sessions=())
+            except Exception:
+                # an unusable or already-owned journal dir fails the
+                # constructor; release what was built (the pool's executors
+                # are still lazy — no processes spawned — and a half-built
+                # server must not keep the directory flock either)
+                if self.journal is not None:
+                    self.journal.close()
+                self.pool.close()
+                raise
+        self.recovery = bool(recovery) and self.journal is not None
+        self.recovery_attempts = max(1, int(recovery_attempts))
         #: streaming sessions: id -> {"shard": owner, "lock": per-session
         #: ordering lock, "last_used": loop time}.  The shard is pinned at
         #: open time (instance-hash routing), so a session's state stays
@@ -77,6 +117,7 @@ class DecompositionService:
         self.sessions_closed = 0
         self.sessions_lost = 0
         self.sessions_expired = 0
+        self.sessions_recovered = 0
         #: directory npz refs are confined to; None disables them entirely —
         #: a remote peer must not get to open arbitrary server-side paths
         self.npz_root = pathlib.Path(npz_root).resolve() if npz_root is not None else None
@@ -168,16 +209,46 @@ class DecompositionService:
             # concurrent duplicate open fails fast instead of double-opening
             entry = {
                 "shard": shard,
+                "scenario": scenario,  # recovery rebuilds the session from it
                 "lock": asyncio.Lock(),
                 "last_used": asyncio.get_running_loop().time(),
+                "pending": 0,  # ops queued on the lock; expiry must not reap
             }
             self._sessions[sid] = entry
             async with entry["lock"]:
                 outcome = await self.pool.submit_session(
                     shard, {"op": "open", "session": sid, "scenario": scenario}
                 )
+                if outcome.get("ok") and self.journal is not None:
+                    # journal only acknowledged opens — inside the lock, so a
+                    # pipelined mutate cannot run before its journal exists;
+                    # the header's base fingerprint anchors every replay
+                    snap = outcome["snapshot"]
+                    try:
+                        self.journal.create(sid, {
+                            "scenario": scenario.spec(),
+                            "base": {"version": snap["version"],
+                                     "hash": snap["structural_hash"]},
+                        })
+                    except OSError as exc:
+                        # a session the journal cannot cover must not open:
+                        # drop the half-created journal (create may have
+                        # registered file+fd before the header write died),
+                        # free the worker-side state, and fail cleanly (a
+                        # wedged entry would block the id until TTL expiry)
+                        self.journal.delete(sid)
+                        await self.pool.submit_session(
+                            shard, {"op": "close", "session": sid}
+                        )
+                        outcome = {"ok": False,
+                                   "error": f"journal unavailable: {exc}"}
             if not outcome.get("ok"):
                 self._sessions.pop(sid, None)
+                if self._state_lost(outcome):
+                    # a worker crash mid-open is a loss too: keep the stats
+                    # counter in step with what clients (and loadgen's
+                    # classifier) see on the wire
+                    self.sessions_lost += 1
                 raise ServiceError(outcome.get("error", "open failed"))
             self.sessions_opened += 1
             return {"ok": True, "session": sid, "snapshot": outcome["snapshot"]}
@@ -186,24 +257,147 @@ class DecompositionService:
             raise ProtocolError(f"unknown session {sid!r}")
         payload = {"session": sid, **{k: v for k, v in fields.items() if k != "session"}}
         payload["op"] = {"mutate": "mutate", "snapshot": "snapshot", "close_stream": "close"}[op]
-        async with entry["lock"]:
-            outcome = await self.pool.submit_session(entry["shard"], payload)
+        if self.journal is not None and op == "mutate":
+            # ask the worker for the post-batch (version, hash) stamp the
+            # journal entry needs; unjournaled servers skip the O(m) hash
+            payload["fingerprint"] = True
+        # counted before awaiting the lock, so a TTL expiry that currently
+        # holds it can see this op coming and spare the session
+        entry["pending"] += 1
+        try:
+            outcome = await self._locked_session_op(op, sid, entry, fields, payload)
+        finally:
+            entry["pending"] -= 1
         entry["last_used"] = asyncio.get_running_loop().time()
-        if outcome.get("session_lost") or outcome.get("unknown_session"):
-            # the worker no longer holds the state (executor break, or a
-            # respawned process with an empty registry): keeping the routing
-            # entry would zombie the session — drop it so the id can be
+        if self._state_lost(outcome):
+            # unrecoverable (no journal, recovery off, replay diverged, or
+            # the shard kept dying): keeping the routing entry would zombie
+            # the session — drop it (and its journal) so the id can be
             # reopened
             self._sessions.pop(sid, None)
+            if self.journal is not None:
+                self.journal.delete(sid)
             self.sessions_lost += 1
-            raise ServiceError(outcome.get("error", "session lost"))
+            # every terminal loss — executor break, respawned registry,
+            # exhausted or diverged replay — reads "session lost", so
+            # clients (and loadgen's report classifier) need one test
+            reason = str(outcome.get("error") or "worker state gone")
+            if not reason.startswith("session lost"):
+                reason = f"session lost: {reason}"
+            raise ServiceError(reason)
         if not outcome.get("ok"):
             raise ServiceError(outcome.get("error", "session op failed"))
         if op == "close_stream":
             self._sessions.pop(sid, None)
             self.sessions_closed += 1
+            if self.journal is not None:
+                self.journal.delete(sid)
+        # "state" is the journal's fingerprint, not part of the wire contract
         return {"ok": True, "session": sid,
-                **{k: v for k, v in outcome.items() if k != "ok"}}
+                **{k: v for k, v in outcome.items() if k not in ("ok", "state")}}
+
+    async def _locked_session_op(self, op: str, sid: str, entry: dict,
+                                 fields: dict, payload: dict) -> dict:
+        """One session op under its lock: submit, recover, journal."""
+        async with entry["lock"]:
+            if self._sessions.get(sid) is not entry:
+                # the session was closed or expired while we waited on the
+                # lock: answer "unknown session" cleanly instead of probing
+                # the worker and misreporting a reaped session as *lost*
+                return {"ok": False, "error": f"unknown session {sid!r}"}
+            outcome = await self.pool.submit_session(entry["shard"], payload)
+            if self._state_lost(outcome) and self.recovery:
+                # the crash path the journal exists for: replay the mutation
+                # log into the respawned worker, then answer the queued
+                # request — all under the session lock, so pipelined ops
+                # behind us still apply in order on the recovered state
+                outcome = await self._recover_and_retry(sid, entry, payload, outcome)
+            if self.journal is not None and op == "mutate" and outcome.get("ok"):
+                # journal-then-reply: an acknowledged mutate is always in the
+                # log, an unacknowledged one never is — which is what makes
+                # retry-after-replay apply each op exactly once
+                logged = (
+                    {"mutations": fields["mutations"]}
+                    if "mutations" in fields else {"steps": fields["steps"]}
+                )
+                try:
+                    sync_due = self.journal.append(
+                        sid, {**logged, **outcome.get("state", {})})
+                except OSError as exc:
+                    # the mutate applied but can never be journaled: from
+                    # here the journal would replay to a state one op behind
+                    # what the worker acknowledged — a gapped log is a lie,
+                    # so the session is terminally lost (worker state freed;
+                    # the caller's _state_lost path drops entry + journal)
+                    await self.pool.submit_session(
+                        entry["shard"], {"op": "close", "session": sid}
+                    )
+                    outcome = {"ok": False, "session_lost": True,
+                               "error": f"session lost: journal append "
+                                        f"failed: {exc}"}
+                else:
+                    if sync_due:
+                        # a batch fsync is due: run the disk barrier on a
+                        # thread (still under the session lock, so
+                        # per-session order holds) instead of stalling
+                        # every other connection
+                        try:
+                            await asyncio.get_running_loop().run_in_executor(
+                                None, self.journal.sync_session, sid
+                            )
+                        except OSError:
+                            # unlike a failed append, the entry IS in the
+                            # log (write+flush succeeded) and same-host
+                            # replay never needs the barrier — failing an
+                            # applied op here would push the client into a
+                            # double-applying retry; the unsynced count
+                            # stays, so the next append retries the fsync
+                            pass
+        return outcome
+
+    @staticmethod
+    def _state_lost(outcome: dict) -> bool:
+        """True when the worker no longer holds the session's state."""
+        return bool(outcome.get("session_lost") or outcome.get("unknown_session"))
+
+    async def _recover_and_retry(self, sid: str, entry: dict, payload: dict,
+                                 lost_outcome: dict) -> dict:
+        """Rebuild a crashed session from its journal, then retry the op.
+
+        Replays the journaled mutation log into the (already respawned)
+        owning shard via the worker's ``restore`` op, verifying the
+        journal's per-op fingerprints, and re-submits the interrupted
+        request against the recovered state.  A crash *during* replay or
+        between replay and retry simply loops (each attempt respawns the
+        shard); after ``recovery_attempts`` failures — or on a diverged or
+        unreadable journal, which retrying cannot fix — the original lost
+        outcome is returned and the caller surfaces the loss.
+        """
+        from ..stream import JournalError
+
+        try:
+            header, ops = self.journal.load(sid)
+        except JournalError:
+            return lost_outcome
+        restore = {
+            "op": "restore",
+            "session": sid,
+            "scenario": entry["scenario"],
+            "base": header.get("base"),
+            "ops": ops,
+        }
+        for _ in range(self.recovery_attempts):
+            restored = await self.pool.submit_session(entry["shard"], restore)
+            if self._state_lost(restored):
+                continue  # killed mid-replay; the pool respawned, go again
+            if not restored.get("ok"):
+                return lost_outcome  # diverged/corrupt: retrying cannot help
+            retried = await self.pool.submit_session(entry["shard"], payload)
+            if self._state_lost(retried):
+                continue  # killed between replay and retry; replay again
+            self.sessions_recovered += 1
+            return retried
+        return lost_outcome
 
     async def _expire_idle_sessions(self) -> None:
         """Close sessions idle beyond ``session_ttl`` to free their slots.
@@ -225,11 +419,25 @@ class DecompositionService:
             if entry is None:
                 continue
             async with entry["lock"]:
+                # re-check under the lock: an op may have completed while we
+                # waited (fresh last_used), or be queued on the lock right
+                # now (pending > 0) — either way the client just resumed,
+                # and expiring would destroy state the journal protects
+                fresh = asyncio.get_running_loop().time()
+                if entry["pending"] > 0 or fresh - entry["last_used"] <= self.session_ttl:
+                    continue
                 await self.pool.submit_session(
                     entry["shard"], {"op": "close", "session": sid}
                 )
-            self._sessions.pop(sid, None)
-            self.sessions_expired += 1
+                # unregister under the lock: an op that queued during the
+                # close above re-validates its entry on acquisition, so it
+                # sees a clean "unknown session" rather than a lost one
+                self._sessions.pop(sid, None)
+                if self.journal is not None:
+                    # expiry is a close the client never sent: the journal
+                    # must go with the session or it would zombie on disk
+                    self.journal.delete(sid)
+                self.sessions_expired += 1
 
     def stats(self) -> dict:
         return {
@@ -247,12 +455,16 @@ class DecompositionService:
                 "closed": self.sessions_closed,
                 "lost": self.sessions_lost,
                 "expired": self.sessions_expired,
+                "recovered": self.sessions_recovered,
             },
+            **({"journal": self.journal.stats()} if self.journal is not None else {}),
         }
 
     async def close(self) -> None:
         await self.batcher.drain()
         self.pool.close()
+        if self.journal is not None:
+            self.journal.close()
 
 
 async def _handle_request(service: DecompositionService, req: dict, stop: asyncio.Event) -> dict:

@@ -11,18 +11,97 @@ function taking one picklable payload dict and returning one JSON-ready
 outcome dict, mirroring :func:`~repro.service.shards.shard_run` for batches.
 The registry is a module global: each worker process (or the inline worker
 thread when ``shards=0``) holds exactly the sessions routed to it.
+
+Crash recovery: the ``restore`` op rebuilds a session from its journaled
+mutation log (see :mod:`repro.stream.journal`) via
+:func:`~repro.stream.session.replay_session`, verifying the journal's
+``(version, hash)`` fingerprints at every step — the server drives it after
+a shard respawn, turning ``session lost`` into a recovery path.
+
+Fault injection: :func:`maybe_fault` is a crash hook compiled into the
+worker paths the recovery machinery must survive.  It is inert unless the
+``REPRO_FAULT_PLAN`` environment variable points at a plan file (written by
+``tests/faultinject.py``), in which case a matching call point hard-kills
+the worker process — the controllable shard-killer the chaos tests and the
+CI chaos-smoke job drive.
 """
 
 from __future__ import annotations
 
-from ..stream import StreamSession
+import json
+import os
+import pathlib
 
-__all__ = ["session_call", "open_session_count", "drop_namespace"]
+from ..stream import ReplayError, StreamSession, replay_session
+
+__all__ = ["session_call", "open_session_count", "drop_namespace", "maybe_fault"]
 
 #: session id -> live session, per worker process.  Ids arrive prefixed
 #: with the owning pool's namespace (see ``ShardPool.submit_session``), so
 #: two pools in one process — the inline ``shards=0`` mode — cannot collide.
 _SESSIONS: dict[str, StreamSession] = {}
+
+#: env var naming the fault-plan file; absent (the production case) the
+#: fault hook is a dict lookup and a return
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: cached parsed fault plan; ``False`` = not loaded yet, ``None`` = no plan
+_FAULT_PLAN: list | None | bool = False
+
+
+def _fault_plan() -> list | None:
+    global _FAULT_PLAN
+    if _FAULT_PLAN is False:
+        path = os.environ.get(FAULT_PLAN_ENV)
+        if not path:
+            _FAULT_PLAN = None
+        else:
+            try:
+                doc = json.loads(pathlib.Path(path).read_text())
+                _FAULT_PLAN = list(doc.get("faults", []))
+            except (OSError, ValueError):
+                _FAULT_PLAN = None  # an unreadable plan must not break serving
+    return _FAULT_PLAN
+
+
+def reset_fault_plan() -> None:
+    """Forget the cached plan (tests re-arm within one process)."""
+    global _FAULT_PLAN
+    _FAULT_PLAN = False
+
+
+def maybe_fault(point: str, session: str | None = None, version: int | None = None) -> None:
+    """Hard-kill this worker if an armed fault spec matches ``point``.
+
+    A spec matches on the point name, optionally on the session id (suffix
+    match, because worker-side ids carry the pool namespace) and the state
+    version at the call site.  Each spec fires at most once across every
+    process via an ``O_EXCL`` marker file, and never fires in the process
+    that armed the plan (``armed_pid``) — the inline ``shards=0`` worker is
+    a *thread*, and killing it would take the server down with it.
+    """
+    plan = _fault_plan()
+    if not plan:
+        return
+    for spec in plan:
+        if spec.get("point") != point:
+            continue
+        if spec.get("armed_pid") == os.getpid():
+            continue
+        want_sid = spec.get("session")
+        if want_sid is not None and not (
+            session == want_sid or (session or "").endswith(":" + want_sid)
+        ):
+            continue
+        if spec.get("version") is not None and spec["version"] != version:
+            continue
+        marker = spec.get("marker")
+        if marker:
+            try:
+                os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            except FileExistsError:
+                continue  # this spec already fired (possibly in another worker)
+        os._exit(59)  # simulate a hard crash: no cleanup, no exception
 
 
 def open_session_count() -> int:
@@ -59,10 +138,15 @@ def session_call(payload: dict) -> dict:
         {"op": "mutate", "session": id, "mutations": [wire, ...]}
         {"op": "snapshot", "session": id}
         {"op": "close", "session": id}
+        {"op": "restore", "session": id, "scenario": Scenario,
+         "base": {"version", "hash"}, "ops": [journal op, ...]}
 
     Every outcome is ``{"ok": True, ...}`` or ``{"ok": False, "error": ...}``;
     exceptions never cross the executor boundary raw, so one bad mutation
-    cannot poison the worker.
+    cannot poison the worker.  Mutate payloads with ``fingerprint: True``
+    (sent by journaling servers only — the hash is O(m)) get the post-batch
+    ``state`` fingerprint back for the journal entry; the server strips it
+    from client responses.
     """
     try:
         op = payload["op"]
@@ -72,8 +156,30 @@ def session_call(payload: dict) -> dict:
                 return {"ok": False, "error": f"session {sid!r} already exists"}
             scenario = payload["scenario"]
             session = StreamSession(_instance_for(scenario), scenario)
+            maybe_fault("open", session=sid, version=session.state.version)
             _SESSIONS[sid] = session
             return {"ok": True, "opened": True, "snapshot": session.snapshot()}
+        if op == "restore":
+            scenario = payload["scenario"]
+            ops = payload.get("ops", [])
+
+            def _on_op(index, replaying):
+                maybe_fault("restore", session=sid, version=replaying.state.version)
+
+            try:
+                session = replay_session(
+                    _instance_for(scenario), scenario, ops,
+                    base=payload.get("base"), on_op=_on_op,
+                )
+            except ReplayError as exc:
+                # divergence is terminal: a silently different state would
+                # break byte-identity, so the server must report the loss
+                return {"ok": False, "replay_diverged": True, "error": str(exc)}
+            # idempotent by design: a retried recovery replaces any stale
+            # entry a half-finished earlier attempt might have registered
+            _SESSIONS[sid] = session
+            return {"ok": True, "restored": True, "replayed": len(ops),
+                    "state": session.fingerprint()}
         session = _SESSIONS.get(sid)
         if session is None:
             # unknown_session lets the server distinguish "this worker lost
@@ -82,6 +188,7 @@ def session_call(payload: dict) -> dict:
             return {"ok": False, "unknown_session": True,
                     "error": f"unknown session {sid!r}"}
         if op == "mutate":
+            maybe_fault("mutate:before", session=sid, version=session.state.version)
             if "mutations" in payload:
                 results = [session.apply_mutations(payload["mutations"])]
             else:
@@ -93,8 +200,15 @@ def session_call(payload: dict) -> dict:
                             f"trace exhausted: {session.trace_remaining} step(s) "
                             f"remaining, {steps} requested"}
                 results = [session.step() for _ in range(steps)]
-            return {"ok": True, "results": results}
+            maybe_fault("mutate:after", session=sid, version=session.state.version)
+            out = {"ok": True, "results": results}
+            if payload.get("fingerprint"):
+                # the journal's (version, hash) stamp — an O(m) content
+                # hash, so only computed when the server actually journals
+                out["state"] = session.fingerprint()
+            return out
         if op == "snapshot":
+            maybe_fault("snapshot", session=sid, version=session.state.version)
             return {"ok": True, "snapshot": session.snapshot()}
         if op == "close":
             del _SESSIONS[sid]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -86,8 +87,14 @@ class ShardPool:
             self._run = shard_run
 
     def _spawn_executor(self) -> ProcessPoolExecutor:
+        # spawn, never fork: a forked worker inherits duplicates of every
+        # open client socket, so a departing client's FIN is never delivered
+        # (the worker's dup keeps the kernel refcount up) and the server
+        # burns its whole shutdown grace period on connections that already
+        # closed — and forking a threaded asyncio server is unsound anyway
         return ProcessPoolExecutor(
             max_workers=1,
+            mp_context=multiprocessing.get_context("spawn"),
             initializer=worker_init,
             initargs=(self.cache_dir, self.instance_cache_entries),
         )
@@ -100,14 +107,25 @@ class ShardPool:
         """Stable instance-hash routing: same instance -> same shard."""
         return int(scenario.instance_hash(), 16) % self.nshards
 
+    def worker_pids(self, shard: int) -> list[int]:
+        """Pids of ``shard``'s live worker processes (empty for inline mode).
+
+        A test/chaos hook: the fault-injection harness kills these out from
+        under the pool to exercise the respawn and recovery paths.
+        """
+        processes = getattr(self._executors[shard], "_processes", None)
+        return sorted(processes) if processes else []
+
     async def submit_session(self, shard: int, payload: dict) -> dict:
         """Run one streaming-session operation on ``shard``.
 
         Session state lives only in the worker, so a dead worker cannot be
-        retried like a stateless batch: the executor is respawned (future
-        work gets a healthy shard) and the *caller* gets a session-lost
-        error to surface — replaying the mutation log is the client's
-        prerogative, not the pool's.
+        retried blindly like a stateless batch: the executor is respawned
+        (future work gets a healthy shard) and the caller gets a
+        session-lost outcome.  The *server* owns what happens next — with a
+        journal it replays the session's mutation log into the fresh worker
+        (``op="restore"``) and retries; without one the loss is surfaced to
+        the client.  The pool stays policy-free.
         """
         from .sessions import session_call
 

@@ -16,7 +16,11 @@ Layers:
   restoration, dirty-region-seeded FM refinement, and the Träff–Wimmer-style
   :func:`cheap_lower_bound` the drift monitor checks repairs against.
 * :mod:`.session` — :class:`StreamSession` (trace replay + policy + audit
-  snapshots) and the sweep-engine entry points.
+  snapshots), the sweep-engine entry points, and :func:`replay_session`
+  (deterministic session rebuild from a journaled op log).
+* :mod:`.journal` — :class:`JournalStore`: per-session append-only,
+  fsync-batched mutation journals with startup garbage collection — what
+  lets the service rebuild a session after its shard worker crashes.
 
 Streaming scenarios use ``algorithm="stream"`` in the ordinary scenario
 grid, so ``repro sweep`` grids over trace kinds × repair policies like any
@@ -24,9 +28,17 @@ other axis, and the service exposes sessions through
 ``open_stream``/``mutate``/``snapshot``/``close_stream`` requests.
 """
 
-from .mutations import DirtyRegion, GraphState, Mutation, MutationError
+from .journal import JournalError, JournalStore, read_journal
+from .mutations import DirtyRegion, GraphState, Mutation, MutationError, replay
 from .repair import cheap_lower_bound, local_repair, restore_window, strict_window
-from .session import POLICIES, StreamSession, run_stream_scenario, stream_coloring
+from .session import (
+    POLICIES,
+    ReplayError,
+    StreamSession,
+    replay_session,
+    run_stream_scenario,
+    stream_coloring,
+)
 from .traces import TRACES, make_trace
 
 __all__ = [
@@ -34,12 +46,18 @@ __all__ = [
     "TRACES",
     "DirtyRegion",
     "GraphState",
+    "JournalError",
+    "JournalStore",
     "Mutation",
     "MutationError",
+    "ReplayError",
     "StreamSession",
     "cheap_lower_bound",
     "local_repair",
     "make_trace",
+    "read_journal",
+    "replay",
+    "replay_session",
     "restore_window",
     "run_stream_scenario",
     "stream_coloring",

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..graphs.graph import Graph
 
-__all__ = ["Mutation", "MutationError", "GraphState", "DirtyRegion"]
+__all__ = ["Mutation", "MutationError", "GraphState", "DirtyRegion", "replay"]
 
 #: mutation kinds and their wire arity (excluding the kind tag)
 _KINDS = {"add": 3, "remove": 2, "cost": 3, "weight": 2}
@@ -266,3 +266,24 @@ class GraphState:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"GraphState(n={self.n}, m={self.m}, version={self.version})"
+
+
+def replay(base: GraphState, batches) -> GraphState:
+    """Pure mutation-log replay: apply ``batches`` to a copy of ``base``.
+
+    ``batches`` is an iterable of explicit mutation batches, each a list of
+    :class:`Mutation` objects or wire-form lists (the ``mutations`` shape of
+    a mutate request).  The result is a fresh :class:`GraphState` whose
+    ``version`` and :meth:`~GraphState.structural_hash` match a state that
+    applied the same batches live, at every prefix — the determinism that
+    makes crash recovery by replay sound (the min-max boundary cost of the
+    rebuilt state is a pure function of the mutation sequence).  ``base`` is
+    never touched.  Session-level journal logs, whose op entries may also be
+    trace-driven (``{"steps": n}``), are replayed one level up by
+    :func:`~repro.stream.session.replay_session`, which re-derives the trace
+    from the scenario; this function is the state-layer primitive under it.
+    """
+    state = base.copy()
+    for batch in batches:
+        state.apply(batch)
+    return state

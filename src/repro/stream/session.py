@@ -33,9 +33,26 @@ from .mutations import GraphState, Mutation, MutationError
 from .repair import cheap_lower_bound, local_repair, restore_window
 from .traces import TRACES, make_trace
 
-__all__ = ["POLICIES", "StreamSession", "run_stream_scenario", "stream_coloring"]
+__all__ = [
+    "POLICIES",
+    "ReplayError",
+    "StreamSession",
+    "replay_session",
+    "run_stream_scenario",
+    "stream_coloring",
+]
 
 POLICIES = ("repair", "patch", "recompute")
+
+
+class ReplayError(RuntimeError):
+    """A journal replay diverged from the fingerprints it recorded.
+
+    Raised when a rebuilt session's ``(version, hash)`` disagrees with what
+    the original worker acknowledged — the one condition under which crash
+    recovery must refuse to hand back a session (a silently different state
+    would break the byte-identity contract, not just this request).
+    """
 
 #: scenario params consumed by the streaming layer itself; everything else
 #: passes through to the solver (oracle, p, refine) or trace (radius, ...).
@@ -156,6 +173,20 @@ class StreamSession:
         batch = [Mutation.from_wire(m) for m in wire_mutations]
         return self._apply_batch(batch)
 
+    def replay_op(self, op: dict) -> None:
+        """Re-execute one journaled mutate op (``{"steps": n}`` or
+        ``{"mutations": [...]}``) — the recovery counterpart of the service's
+        mutate request shapes."""
+        if "mutations" in op:
+            self.apply_mutations(op["mutations"])
+        else:
+            for _ in range(int(op.get("steps", 1))):
+                self.step()
+
+    def fingerprint(self) -> dict:
+        """The ``(version, hash)`` pair journals stamp on every entry."""
+        return {"version": self.state.version, "hash": self.state.structural_hash()}
+
     def _apply_batch(self, batch: list) -> dict:
         dirty = self.state.apply(batch)
         self.steps_taken += 1
@@ -254,6 +285,41 @@ class StreamSession:
             "repair_seconds": round(self.repair_seconds, 6),
             "recompute_seconds": round(self.recompute_seconds, 6),
         }
+
+
+def _check_fingerprint(session: StreamSession, expect: dict, where: str) -> None:
+    fp = session.fingerprint()
+    for field in ("version", "hash"):
+        want = expect.get(field)
+        if want is not None and fp[field] != want:
+            raise ReplayError(
+                f"replay diverged at {where}: {field} {fp[field]!r} != journaled {want!r}"
+            )
+
+
+def replay_session(instance, scenario, ops, base=None, on_op=None) -> StreamSession:
+    """Rebuild a :class:`StreamSession` from its journaled op log.
+
+    The recovery entry point: constructs a fresh session from the scenario
+    (trace, policy, and solver seeding are all derived, so the rebuild is
+    deterministic), verifies the base state against the journal header's
+    ``base`` fingerprint, then replays every op, checking the journaled
+    ``(version, hash)`` after each — a recovered session is byte-identical
+    to one that never crashed, or :class:`ReplayError` is raised and the
+    caller must report the session lost.
+
+    ``on_op(index, session)`` is a hook fired before each op is applied;
+    the fault-injection harness uses it to crash *during* replay.
+    """
+    session = StreamSession(instance, scenario)
+    if base is not None:
+        _check_fingerprint(session, base, "base state")
+    for index, op in enumerate(ops):
+        if on_op is not None:
+            on_op(index, session)
+        session.replay_op(op)
+        _check_fingerprint(session, op, f"op {index + 1}/{len(ops)}")
+    return session
 
 
 def stream_coloring(instance, scenario) -> Coloring:

@@ -1,0 +1,299 @@
+"""Fault-injection harness for crash-safe streaming sessions.
+
+The controllable shard-killer behind ``tests/test_recovery.py`` and the CI
+chaos-smoke job.  A *fault plan* is a JSON file naming crash points compiled
+into the worker paths (see :func:`repro.service.sessions.maybe_fault`):
+
+* ``mutate:before`` — op received, state untouched (unacked, unjournaled);
+* ``mutate:after``  — state mutated, reply never sent (unacked: the journal
+  must *not* contain the op, and retry-after-replay must apply it once);
+* ``snapshot``      — between a journaled mutate and its snapshot;
+* ``restore``       — during journal replay itself (recovery of recovery);
+* ``open``          — session built but never acknowledged.
+
+Each spec matches a point, optionally a session id and the state version at
+the call site, and fires **once** across all worker processes via an
+``O_EXCL`` marker file; the process that armed the plan never fires (the
+inline ``shards=0`` worker is a thread in the server process).  Arming is an
+environment variable (``REPRO_FAULT_PLAN``), inherited by shard workers at
+spawn — including the respawned ones, which is what lets a plan kill a
+recovery attempt too.
+
+Run as a script, this is the chaos job: replay the streaming smoke grid
+through churn sessions against an uninterrupted ``--shards 1`` server, then
+against a journaled ``--shards 4`` server with one shard killed mid-run at
+each chosen crash point, and require the recovered snapshot bodies to be
+byte-identical to the uninterrupted run::
+
+    PYTHONPATH=src python tests/faultinject.py --shards 4 --steps 5
+    PYTHONPATH=src python tests/faultinject.py --steps 8 \
+        --kill-point mutate:before --kill-point mutate:after \
+        --kill-point snapshot --kill-point restore      # the nightly sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import os
+import pathlib
+import signal
+import sys
+import tempfile
+
+from repro.service import DecompositionService, run_churn, serve
+from repro.service.sessions import FAULT_PLAN_ENV, reset_fault_plan
+
+__all__ = [
+    "arm_faults",
+    "fired_count",
+    "kill_shard_workers",
+    "run_churn_service",
+    "stream_specs",
+]
+
+#: crash points the chaos script exercises; ``open`` exists too but is
+#: test-only (an unacknowledged open is never journaled, so it is reported
+#: lost rather than recovered — the client simply retries the open)
+KILL_POINTS = ("mutate:before", "mutate:after", "snapshot", "restore")
+
+
+@contextlib.contextmanager
+def arm_faults(directory, faults: list[dict]):
+    """Write a fault plan and export ``REPRO_FAULT_PLAN`` while active.
+
+    ``faults`` is a list of ``{"point", "session"?, "version"?}`` specs;
+    each gets a unique once-only marker file under ``directory``.  Yields
+    the armed spec list (markers resolved) so callers can assert with
+    :func:`fired_count` that the kills actually happened — a chaos test
+    that never crashed anything proves nothing.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    armed = [
+        {
+            **spec,
+            "marker": str(directory / f"fault-{index}.fired"),
+            "armed_pid": os.getpid(),
+        }
+        for index, spec in enumerate(faults)
+    ]
+    plan_path = directory / "fault_plan.json"
+    plan_path.write_text(json.dumps({"faults": armed}, indent=2))
+    previous = os.environ.get(FAULT_PLAN_ENV)
+    os.environ[FAULT_PLAN_ENV] = str(plan_path)
+    reset_fault_plan()  # this process may have cached "no plan"
+    try:
+        yield armed
+    finally:
+        if previous is None:
+            os.environ.pop(FAULT_PLAN_ENV, None)
+        else:
+            os.environ[FAULT_PLAN_ENV] = previous
+        reset_fault_plan()
+
+
+def fired_count(armed: list[dict]) -> int:
+    """How many armed faults actually killed a worker (marker exists)."""
+    return sum(1 for spec in armed if os.path.exists(spec["marker"]))
+
+
+def kill_shard_workers(service: DecompositionService, shard: int) -> list[int]:
+    """SIGKILL every worker process of one shard (asynchronous crash).
+
+    The direct-kill alternative to a planned fault: used for crashes that
+    do not align with a worker code path, e.g. "during journal append"
+    (which runs on the server's event loop, not in the worker).
+    """
+    pids = service.pool.worker_pids(shard)
+    for pid in pids:
+        os.kill(pid, signal.SIGKILL)
+    return pids
+
+
+def stream_specs(steps: int) -> list[dict]:
+    """The streaming smoke grid as churn-session specs (one per trace kind),
+    with every trace budget stretched to serve ``steps`` mutates."""
+    from repro.cli import SWEEP_PRESETS
+    from repro.runtime import ScenarioGrid
+
+    specs = []
+    for scenario in ScenarioGrid(**SWEEP_PRESETS["stream"]).scenarios():
+        params = dict(scenario.param_dict)
+        params["steps"] = max(int(params.get("steps", 0)), int(steps))
+        specs.append(scenario.with_(params=params).spec())
+    return specs
+
+
+async def _serve_churn(specs, steps, *, shards, journal_dir, recovery, connections):
+    service = DecompositionService(
+        shards=shards, max_wait_ms=1.0,
+        journal_dir=journal_dir, recovery=recovery,
+    )
+    ready = asyncio.Event()
+    bound = {}
+
+    def _ready(host, port):
+        bound.update(host=host, port=port)
+        ready.set()
+
+    server_task = asyncio.create_task(serve(service, port=0, ready=_ready))
+    await asyncio.wait_for(ready.wait(), 30)
+    finished = False
+    try:
+        out = await run_churn(
+            bound["host"], bound["port"], specs,
+            steps=steps, connections=connections, shutdown=True,
+        )
+        finished = True  # the shutdown op was sent: let serve() drain itself
+        return out
+    finally:
+        if not finished:
+            server_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError, asyncio.TimeoutError):
+            await asyncio.wait_for(server_task, 30)
+
+
+def run_churn_service(specs, steps, *, shards, journal_dir=None, recovery=True,
+                      connections=2) -> dict:
+    """Start a service, replay churn sessions through it, and shut it down.
+
+    Returns ``run_churn``'s ``{"report", "bodies"}``.  With a fault plan
+    armed (see :func:`arm_faults`) the shard workers inherit it and crash at
+    the planned points; ``journal_dir``/``recovery`` control whether the
+    server can replay them back.
+    """
+    return asyncio.run(
+        _serve_churn(specs, steps, shards=shards, journal_dir=journal_dir,
+                     recovery=recovery, connections=connections)
+    )
+
+
+# ----------------------------------------------------------------------
+# chaos script (the CI chaos-smoke / nightly-chaos entry point)
+
+
+def _chaos_faults(point: str, kill_session: str, kill_version: int) -> list[dict]:
+    """The fault list for one chaos run at ``point``.
+
+    ``restore`` only executes during a recovery, so it is armed *with* a
+    primary crash (between mutate and snapshot) that triggers one.
+    """
+    if point == "restore":
+        return [
+            {"point": "snapshot", "session": kill_session, "version": kill_version},
+            {"point": "restore", "session": kill_session},
+        ]
+    return [{"point": point, "session": kill_session, "version": kill_version}]
+
+
+def run_chaos(points, *, shards: int, steps: int, kill_session: str,
+              kill_version: int, connections: int) -> dict:
+    """Baseline + one killed-shard churn run per crash point.
+
+    The verdict per point: every armed fault fired, no request failed, at
+    least one session was recovered by replay, and the snapshot bodies are
+    byte-identical to the uninterrupted single-shard baseline.
+    """
+    specs = stream_specs(steps)
+    print(f"chaos: baseline churn, {len(specs)} session(s) x {steps} step(s), "
+          f"shards=1 (uninterrupted)", file=sys.stderr)
+    baseline = run_churn_service(specs, steps, shards=1, connections=connections)
+    if baseline["report"]["errors"] or baseline["report"]["lost_sessions"]:
+        raise SystemExit(f"chaos: baseline run failed: {baseline['report']['errors']} "
+                         f"{baseline['report']['lost_sessions']}")
+    results = {}
+    ok = True
+    for point in points:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+            scratch = pathlib.Path(scratch)
+            faults = _chaos_faults(point, kill_session, kill_version)
+            print(f"chaos: killing 1 of {shards} shard(s) at {point!r} "
+                  f"(session {kill_session}, version {kill_version}), "
+                  f"journaled recovery on", file=sys.stderr)
+            with arm_faults(scratch / "plan", faults) as armed:
+                out = run_churn_service(
+                    specs, steps, shards=shards,
+                    journal_dir=scratch / "journals", connections=connections,
+                )
+                fired = fired_count(armed)
+            report = out["report"]
+            identical = out["bodies"] == baseline["bodies"]
+            verdict = {
+                "point": point,
+                "faults_armed": len(armed),
+                "faults_fired": fired,
+                "errors": len(report["errors"]),
+                "lost_sessions": len(report["lost_sessions"]),
+                "recovered_sessions": report["recovered_sessions"],
+                "bodies_identical_to_baseline": identical,
+            }
+            verdict["ok"] = (
+                fired == len(armed)
+                and not report["errors"]
+                and not report["lost_sessions"]
+                and report["recovered_sessions"] >= 1
+                and identical
+            )
+            results[point] = verdict
+            ok = ok and verdict["ok"]
+            print(f"chaos: {point!r}: fired {fired}/{len(armed)}, "
+                  f"recovered {report['recovered_sessions']}, "
+                  f"errors {len(report['errors'])}, "
+                  f"lost {len(report['lost_sessions'])}, "
+                  f"byte-identical={identical} -> "
+                  f"{'ok' if verdict['ok'] else 'FAIL'}", file=sys.stderr)
+    return {
+        "ok": ok,
+        "shards": shards,
+        "steps": steps,
+        "sessions": len(specs),
+        "kill_session": kill_session,
+        "kill_version": kill_version,
+        "points": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="chaos harness: kill shard workers mid-churn and require "
+        "journal-replay recovery to reproduce the uninterrupted snapshots "
+        "byte-for-byte")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard count for the chaos runs (default 4)")
+    parser.add_argument("--steps", type=int, default=5,
+                        help="mutate steps per session (default 5)")
+    parser.add_argument("--connections", type=int, default=2)
+    parser.add_argument("--kill-point", action="append", choices=KILL_POINTS,
+                        help="crash point(s) to exercise, repeatable "
+                        "(default: snapshot — between mutate and snapshot)")
+    parser.add_argument("--kill-session", default="churn-0",
+                        help="churn session the fault matches (default churn-0)")
+    parser.add_argument("--kill-version", type=int,
+                        help="state version the fault matches "
+                        "(default: mid-run, steps//2)")
+    parser.add_argument("-o", "--output", help="write the chaos report JSON here")
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        raise SystemExit("chaos needs process shards (--shards >= 1): the "
+                         "inline worker is a thread and cannot be killed")
+    points = args.kill_point or ["snapshot"]
+    kill_version = args.kill_version if args.kill_version is not None \
+        else max(1, args.steps // 2)
+    report = run_chaos(points, shards=args.shards, steps=args.steps,
+                       kill_session=args.kill_session, kill_version=kill_version,
+                       connections=args.connections)
+    if args.output:
+        out = pathlib.Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+    print(f"chaos: {'all points ok' if report['ok'] else 'FAILED'} "
+          f"({', '.join(points)})", file=sys.stderr)
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
