@@ -32,12 +32,15 @@ from .core import (
     theorem4_bound,
 )
 from .separators import (
+    REGISTRY,
     BestOfOracle,
     BfsOracle,
     GridOracle,
+    SolveContext,
     SpectralOracle,
     default_oracle,
     grid_split,
+    make_oracle,
 )
 
 __version__ = "1.0.0"
@@ -57,6 +60,9 @@ __all__ = [
     "BfsOracle",
     "SpectralOracle",
     "GridOracle",
+    "REGISTRY",
+    "SolveContext",
+    "make_oracle",
     "default_oracle",
     "grid_split",
     "__version__",

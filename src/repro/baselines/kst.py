@@ -23,6 +23,7 @@ import numpy as np
 from .._util import as_float_array
 from ..core.coloring import Coloring
 from ..graphs.graph import Graph
+from ..separators.solve import split_on
 
 __all__ = ["kst_partition"]
 
@@ -33,6 +34,7 @@ def kst_partition(
     weights=None,
     oracle=None,
     eps: float = 0.0,
+    ctx=None,
 ) -> Coloring:
     """Recursive bisection balancing (weight, boundary-proxy) pairs.
 
@@ -43,9 +45,13 @@ def kst_partition(
     emulating KST's simultaneous-division separators for two functions.
     """
     if oracle is None:
-        from ..separators.oracles import default_oracle
+        from ..separators.oracles import make_oracle
 
-        oracle = default_oracle(g)
+        oracle = make_oracle("default", g=g)
+    if ctx is None:
+        from ..separators.solve import SolveContext
+
+        ctx = SolveContext.for_graph(g)
     w = as_float_array(weights if weights is not None else 1.0, g.n, name="weights")
     tau = g.cost_degree()
     labels = np.full(g.n, -1, dtype=np.int64)
@@ -70,7 +76,7 @@ def kst_partition(
         best_u = None
         best_cost = np.inf
         for s in {lo, share, hi}:
-            u_local = oracle.split(sub.graph, combined, s * float(combined.sum()))
+            u_local = split_on(oracle, sub, combined, s * float(combined.sum()), ctx)
             cost = sub.graph.boundary_cost(u_local)
             got = float(local_w[np.asarray(u_local, dtype=np.int64)].sum())
             # keep within the relaxed weight share
@@ -79,7 +85,7 @@ def kst_partition(
             if cost < best_cost:
                 best_u, best_cost = u_local, cost
         if best_u is None:
-            best_u = oracle.split(sub.graph, local_w, share * wt)
+            best_u = split_on(oracle, sub, local_w, share * wt, ctx)
         u_mask = np.zeros(members.size, dtype=bool)
         u_mask[np.asarray(best_u, dtype=np.int64)] = True
         rec(members[u_mask], range(colors.start, colors.start + k_left))

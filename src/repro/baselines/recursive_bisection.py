@@ -16,11 +16,12 @@ import numpy as np
 from .._util import as_float_array
 from ..core.coloring import Coloring
 from ..graphs.graph import Graph
+from ..separators.solve import split_on
 
 __all__ = ["recursive_bisection"]
 
 
-def recursive_bisection(g: Graph, k: int, weights=None, oracle=None) -> Coloring:
+def recursive_bisection(g: Graph, k: int, weights=None, oracle=None, ctx=None) -> Coloring:
     """Partition into ``k`` classes by recursive weight-proportional splits.
 
     Each split hands ``⌊k'/2⌋`` of the piece's ``k'`` colors to one side with
@@ -29,9 +30,13 @@ def recursive_bisection(g: Graph, k: int, weights=None, oracle=None) -> Coloring
     per-split ``‖w‖∞/2`` accuracy compounded over ``log k`` levels.
     """
     if oracle is None:
-        from ..separators.oracles import default_oracle
+        from ..separators.oracles import make_oracle
 
-        oracle = default_oracle(g)
+        oracle = make_oracle("default", g=g)
+    if ctx is None:
+        from ..separators.solve import SolveContext
+
+        ctx = SolveContext.for_graph(g)
     w = as_float_array(weights if weights is not None else 1.0, g.n, name="weights")
     labels = np.full(g.n, -1, dtype=np.int64)
 
@@ -44,7 +49,7 @@ def recursive_bisection(g: Graph, k: int, weights=None, oracle=None) -> Coloring
         sub = g.subgraph(members)
         local_w = w[members]
         target = float(local_w.sum()) * (k_left / kk)
-        u_local = oracle.split(sub.graph, local_w, target)
+        u_local = split_on(oracle, sub, local_w, target, ctx)
         u_mask = np.zeros(members.size, dtype=bool)
         u_mask[np.asarray(u_local, dtype=np.int64)] = True
         rec(members[u_mask], range(colors.start, colors.start + k_left))

@@ -89,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--baseline", help="baseline results JSON to gate against")
     sw.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed relative regression vs the baseline (default 0.20)")
+    sw.add_argument("--no-oracle-cache", action="store_true",
+                    help="disable the eigensolver result cache (results are "
+                    "byte-identical either way; this is a perf knob)")
 
     sv = sub.add_parser("serve", help="run the batched decomposition service")
     sv.add_argument("--host", default="127.0.0.1")
@@ -123,6 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="escape hatch: keep journaling (if --journal-dir is "
                     "set) but never replay — crashed sessions report "
                     "'session lost' as without a journal")
+    sv.add_argument("--no-oracle-cache", action="store_true",
+                    help="disable the per-shard eigensolver result cache "
+                    "(responses are byte-identical either way)")
+    sv.add_argument("--oracle-cache-size", type=int,
+                    help="max entries in each shard's eigensolver cache "
+                    "(default 256)")
 
     pf = sub.add_parser("profile",
                         help="run a scenario grid under cProfile and print the "
@@ -294,6 +303,9 @@ def _run_sweep(args) -> int:
     )
 
     grid, scenarios = _grid_from_args(args, "sweep")
+    if args.no_oracle_cache:
+        # before workers spawn: they inherit the environment
+        os.environ["REPRO_ORACLE_CACHE"] = "0"
     total = len(scenarios)
     print(f"sweep: {total} scenarios, {args.workers} worker(s)", file=sys.stderr)
 
@@ -308,6 +320,17 @@ def _run_sweep(args) -> int:
 
     results = run_sweep(scenarios, workers=args.workers, cache_dir=args.cache_dir,
                         progress=_progress)
+    if args.workers <= 1:
+        # inline runs share this process's solver state, so the counters
+        # describe the whole sweep (worker counters stay in the workers)
+        from .separators import solver_stats
+
+        stats = solver_stats()
+        cache = stats["cache"] or {}
+        print(f"sweep: oracle solves={stats['counters']['solves']} "
+              f"warm_starts={stats['counters']['warm_starts']} "
+              f"cache_hits={cache.get('hits', 0)} "
+              f"cache_misses={cache.get('misses', 0)}", file=sys.stderr)
     if args.output:
         write_results(args.output, results, grid=grid, timing=args.timing)
         print(f"wrote {args.output}", file=sys.stderr)
@@ -368,6 +391,11 @@ def _run_serve(args) -> int:
     from .service import DecompositionService, serve
     from .stream import JournalError
 
+    # before the shard workers spawn: they inherit the environment
+    if args.no_oracle_cache:
+        os.environ["REPRO_ORACLE_CACHE"] = "0"
+    if args.oracle_cache_size is not None:
+        os.environ["REPRO_ORACLE_CACHE_SIZE"] = str(args.oracle_cache_size)
     try:
         service = DecompositionService(
             shards=args.shards,
@@ -393,9 +421,20 @@ def _run_serve(args) -> int:
               f"batch={args.max_batch_size}/{args.max_wait_ms}ms)",
               file=sys.stderr, flush=True)
 
+    def _on_close(stats):
+        oc = stats.get("oracle_cache") or {}
+        counters = oc.get("counters") or {}
+        cache = oc.get("cache") or {}
+        print(f"serve: oracle cache {'on' if oc.get('enabled') else 'off'} — "
+              f"solves={counters.get('solves', 0)} "
+              f"warm_starts={counters.get('warm_starts', 0)} "
+              f"hits={cache.get('hits', 0)} misses={cache.get('misses', 0)} "
+              f"evictions={cache.get('evictions', 0)}",
+              file=sys.stderr, flush=True)
+
     try:
         asyncio.run(serve(service, host=args.host, port=args.port, ready=_ready,
-                          idle_timeout=args.idle_timeout))
+                          idle_timeout=args.idle_timeout, on_close=_on_close))
     except KeyboardInterrupt:
         print("serve: interrupted", file=sys.stderr)
     return 0

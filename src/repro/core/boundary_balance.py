@@ -33,6 +33,7 @@ def boundary_balanced_coloring(
     oracle,
     params: DecompositionParams | None = None,
     use_dynamic_measure: bool = True,
+    ctx=None,
 ) -> tuple[Coloring, dict]:
     """Proposition 7: a coloring balanced w.r.t. ``measures`` (and π) whose
     *maximum* boundary cost is ``O_r(σ_p(q·k^(−1/p)‖c‖_p + Δ_c))``.
@@ -48,9 +49,9 @@ def boundary_balanced_coloring(
     if params.seed_with_bisection and k >= 2 and g.n > k:
         from ..baselines.recursive_bisection import recursive_bisection
 
-        initial = recursive_bisection(g, k, base_measures[0], oracle=oracle)
+        initial = recursive_bisection(g, k, base_measures[0], oracle=oracle, ctx=ctx)
     chi, stage1_stats = multi_balanced_coloring(
-        g, k, base_measures, oracle, params, initial=initial
+        g, k, base_measures, oracle, params, initial=initial, ctx=ctx
     )
     psi = g.bichromatic_vertex_cost(chi.labels)
     diagnostics: dict = {
@@ -74,6 +75,7 @@ def boundary_balanced_coloring(
         oracle=oracle,
         params=params,
         mono_edge=mono_edge,
+        ctx=ctx,
     )
     diagnostics["rebalance_stats"] = stats
     diagnostics["max_boundary_after_prop7"] = chi_hat.max_boundary(g)

@@ -35,6 +35,7 @@ def improve_balance(
     oracle,
     params: DecompositionParams | None = None,
     pi: np.ndarray | None = None,
+    ctx=None,
 ) -> Coloring:
     """Proposition 11: weakly balanced → almost strictly balanced, with the
     maximum splitting and boundary costs growing by O(1) factors."""
@@ -42,7 +43,7 @@ def improve_balance(
     w = np.asarray(weights, dtype=np.float64)
     if pi is None:
         pi = splitting_cost_measure(g, params.p, params.sigma_p)
-    return _improve(g, coloring, w, oracle, params, pi, level=0)
+    return _improve(g, coloring, w, oracle, params, pi, level=0, ctx=ctx)
 
 
 def _improve(
@@ -53,6 +54,7 @@ def _improve(
     params: DecompositionParams,
     pi: np.ndarray,
     level: int,
+    ctx=None,
 ) -> Coloring:
     k = coloring.k
     support = np.flatnonzero(coloring.labels >= 0)
@@ -68,15 +70,15 @@ def _improve(
         or level >= params.max_shrink_levels
         or avg_class <= 0
     ):
-        return binpack_merge(g, coloring, np.zeros(k), w, oracle)
-    chi0, chi1, _diag = shrink(g, coloring, w, pi, oracle, params)
+        return binpack_merge(g, coloring, np.zeros(k), w, oracle, ctx=ctx)
+    chi0, chi1, _diag = shrink(g, coloring, w, pi, oracle, params, ctx=ctx)
     support1 = np.flatnonzero(chi1.labels >= 0)
     if support1.size == 0:
-        return binpack_merge(g, chi0, np.zeros(k), w, oracle)
+        return binpack_merge(g, chi0, np.zeros(k), w, oracle, ctx=ctx)
     if support1.size >= support.size:
         # shrink made no progress (degenerate weights); conquer directly
-        return binpack_merge(g, coloring, np.zeros(k), w, oracle)
-    chi1_hat = _improve(g, chi1, w, oracle, params, pi, level + 1)
+        return binpack_merge(g, coloring, np.zeros(k), w, oracle, ctx=ctx)
+    chi1_hat = _improve(g, chi1, w, oracle, params, pi, level + 1, ctx=ctx)
     w1_class = chi1_hat.class_weights(w)
-    chi0_tilde = binpack_merge(g, chi0, w1_class, w, oracle)
+    chi0_tilde = binpack_merge(g, chi0, w1_class, w, oracle, ctx=ctx)
     return chi0_tilde.direct_sum(chi1_hat)

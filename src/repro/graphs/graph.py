@@ -46,6 +46,7 @@ class Graph:
 
     __slots__ = (
         "n", "m", "edges", "costs", "indptr", "nbr", "eid", "coords", "_arc_costs",
+        "_struct_hash",
     )
 
     def __init__(self, n, edges, costs=None, coords=None, _validate: bool = True):
@@ -84,6 +85,7 @@ class Graph:
             coords.setflags(write=False)
         self.coords = coords
         self._arc_costs = None
+        self._struct_hash = None
         self._build_csr()
 
     # ------------------------------------------------------------------
@@ -148,6 +150,27 @@ class Graph:
             ac.setflags(write=False)
             self._arc_costs = ac
         return ac
+
+    def structural_hash(self) -> str:
+        """Content hash of ``(n, edges, costs)`` — the solve-cache key (lazy).
+
+        Two graphs share a hash exactly when their vertex count, canonical
+        edge list, and cost vector agree byte-for-byte, which is precisely
+        when every structural computation (Laplacian spectra, cuts, orders)
+        agrees.  Coordinates are deliberately excluded: they annotate, but
+        never change, the cut structure.
+        """
+        h = self._struct_hash
+        if h is None:
+            import hashlib
+
+            hasher = hashlib.sha256()
+            hasher.update(np.int64(self.n).tobytes())
+            hasher.update(np.ascontiguousarray(self.edges).tobytes())
+            hasher.update(np.ascontiguousarray(self.costs).tobytes())
+            h = hasher.hexdigest()[:16]
+            self._struct_hash = h
+        return h
 
     def csr_lists(self) -> tuple[list, list, list]:
         """``(indptr, nbr, arc_costs)`` as Python lists (fresh, uncached).

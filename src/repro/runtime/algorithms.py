@@ -3,11 +3,14 @@
 Each entry takes ``(instance, scenario)`` and returns a
 :class:`~repro.core.coloring.Coloring`.  Oracles are constructed per call
 from the scenario's ``oracle`` param (default: the BFS+spectral portfolio)
-so runs stay deterministic and worker processes never need to pickle oracle
-objects.
+through the separator package's string-keyed registry
+(:data:`repro.separators.REGISTRY`), so runs stay deterministic and worker
+processes never need to pickle oracle objects.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..baselines import (
     greedy_list_scheduling,
@@ -16,40 +19,45 @@ from ..baselines import (
     recursive_bisection,
 )
 from ..core import DecompositionParams, min_max_partition
-from ..separators import (
-    BestOfOracle,
-    BfsOracle,
-    GridOracle,
-    IndexOracle,
-    RandomOracle,
-    SpectralOracle,
-)
+from ..separators import make_oracle as _registry_make_oracle
 from .instances import Instance
 from .scenario import Scenario
 
-__all__ = ["ALGORITHMS", "make_oracle", "run_algorithm"]
+__all__ = ["ALGORITHMS", "ORACLE_ALGORITHMS", "make_oracle", "resolved_oracle_name", "run_algorithm"]
+
+#: algorithms that consume a splitting oracle (and thus record its name)
+ORACLE_ALGORITHMS = frozenset({"minmax", "recursive-bisection", "kst"})
 
 
 def make_oracle(name: str, seed: int = 0):
-    """Build a separator oracle by name (portfolio by default)."""
-    builders = {
-        "best": lambda: BestOfOracle([BfsOracle(), SpectralOracle()]),
-        "best3": lambda: BestOfOracle([BfsOracle(), SpectralOracle(), GridOracle()]),
-        "bfs": lambda: BfsOracle(),
-        "spectral": lambda: SpectralOracle(),
-        "grid": lambda: GridOracle(),
-        "index": lambda: IndexOracle(),
-        "random": lambda: RandomOracle(seed=seed),
-    }
-    if name not in builders:
-        raise KeyError(f"unknown oracle {name!r} (have {sorted(builders)})")
-    return builders[name]()
+    """Deprecated shim — use :func:`repro.separators.make_oracle`.
+
+    Kept so existing grids/presets (and external callers) keep working;
+    raises ``KeyError`` for unknown names as the old builder did.
+    """
+    warnings.warn(
+        "repro.runtime.make_oracle is deprecated; use repro.separators.make_oracle",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    try:
+        return _registry_make_oracle(name, seed=seed)
+    except ValueError as exc:
+        raise KeyError(str(exc)) from None
 
 
 def _oracle_for(scenario: Scenario):
-    return make_oracle(
+    return _registry_make_oracle(
         scenario.param_dict.get("oracle", "best"), seed=scenario.algorithm_seed()
     )
+
+
+def resolved_oracle_name(scenario: Scenario) -> str | None:
+    """The registry name of the oracle a scenario resolves to, or ``None``
+    for oracle-free algorithms.  Deterministic — safe to record in results."""
+    if scenario.algorithm not in ORACLE_ALGORITHMS:
+        return None
+    return _oracle_for(scenario).name
 
 
 def _minmax(inst: Instance, s: Scenario):

@@ -21,7 +21,8 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 
 from ..analysis import evaluate_coloring, theorem5_rhs
-from .algorithms import run_algorithm
+from ..separators.solve import counters_snapshot
+from .algorithms import resolved_oracle_name, run_algorithm
 from .instances import Instance, InstanceCache
 from .results import ScenarioResult
 from .scenario import Scenario, ScenarioGrid
@@ -73,6 +74,11 @@ def _instance_stats(inst: Instance) -> dict:
     }
 
 
+def _solver_delta(before: dict, after: dict) -> dict:
+    """Eigensolver counter deltas for one scenario (volatile, timing-tier)."""
+    return {k: int(after[k]) - int(before.get(k, 0)) for k in after}
+
+
 def run_scenario(scenario: Scenario, cache: InstanceCache | None = None) -> ScenarioResult:
     """Build the instance, run the algorithm, evaluate, and time one cell."""
     if cache is not None:
@@ -81,6 +87,7 @@ def run_scenario(scenario: Scenario, cache: InstanceCache | None = None) -> Scen
         from .instances import build_instance
 
         inst = build_instance(scenario)
+    counters_before = counters_snapshot()
     if scenario.algorithm == "stream":
         # streaming scenarios replay a mutation trace: metrics must be
         # evaluated on the *final mutated* graph, which only the stream
@@ -95,6 +102,7 @@ def run_scenario(scenario: Scenario, cache: InstanceCache | None = None) -> Scen
             instance=_instance_stats(inst),
             metrics=metrics,
             wall_clock_s=wall,
+            solver_stats=_solver_delta(counters_before, counters_snapshot()),
         )
     t0 = time.perf_counter()
     coloring = run_algorithm(inst, scenario)
@@ -110,11 +118,17 @@ def run_scenario(scenario: Scenario, cache: InstanceCache | None = None) -> Scen
         "strictly_balanced": bool(m.strictly_balanced),
         "bound_ratio_thm5": float(m.max_boundary / rhs5) if rhs5 > 0 else 0.0,
     }
+    oracle_name = resolved_oracle_name(scenario)
+    if oracle_name is not None:
+        # the resolved registry name is a pure function of the scenario, so
+        # it belongs in the deterministic record (unlike the solver counters)
+        metrics["oracle"] = oracle_name
     return ScenarioResult(
         scenario=scenario,
         instance=_instance_stats(inst),
         metrics=metrics,
         wall_clock_s=wall,
+        solver_stats=_solver_delta(counters_before, counters_snapshot()),
     )
 
 

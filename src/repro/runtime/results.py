@@ -15,7 +15,8 @@ Schema (version 1)::
                       strictly_balanced, bound_ratio_thm5}
         }, ...
       ],
-      "timing": {"<scenario_id>": wall_clock_s, ...}     # only with timing=True
+      "timing": {"<scenario_id>": wall_clock_s, ...},    # only with timing=True
+      "solver": {"<scenario_id>": {solves, warm_starts, ...}, ...}  # ditto
     }
 
 ``results`` is fully deterministic for a fixed scenario grid — identical for
@@ -70,6 +71,10 @@ class ScenarioResult:
     instance: dict
     metrics: dict
     wall_clock_s: float = 0.0
+    #: eigensolver counter deltas (solves/warm starts/…) for this scenario.
+    #: Volatile like wall-clock — process-cache state leaks across scenarios —
+    #: so it ships only in the opt-in ``timing``-tier ``solver`` block.
+    solver_stats: dict | None = None
 
     @property
     def scenario_id(self) -> str:
@@ -91,6 +96,9 @@ def results_to_dict(results: list[ScenarioResult], grid=None, timing: bool = Fal
     doc["results"] = [r.record() for r in results]
     if timing:
         doc["timing"] = {r.scenario_id: round(r.wall_clock_s, 6) for r in results}
+        solver = {r.scenario_id: r.solver_stats for r in results if r.solver_stats}
+        if solver:
+            doc["solver"] = solver
     return doc
 
 
@@ -98,6 +106,7 @@ def results_from_dict(doc: dict) -> list[ScenarioResult]:
     if doc.get("schema_version") != SCHEMA_VERSION:
         raise ValueError(f"unsupported schema_version {doc.get('schema_version')!r}")
     timing = doc.get("timing", {})
+    solver = doc.get("solver", {})
     out = []
     for rec in doc["results"]:
         spec = dict(rec["scenario"])
@@ -111,6 +120,7 @@ def results_from_dict(doc: dict) -> list[ScenarioResult]:
                 instance=dict(rec["instance"]),
                 metrics=dict(rec["metrics"]),
                 wall_clock_s=float(timing.get(rec["scenario_id"], 0.0)),
+                solver_stats=solver.get(rec["scenario_id"]),
             )
         )
     return out

@@ -148,11 +148,16 @@ def _grid_split_rec(
 class GridOracle:
     """Splitting oracle backed by ``GridSplit`` (grids only)."""
 
-    def split(self, g: Graph, weights: np.ndarray, target: float) -> np.ndarray:
+    accepts_ctx = True
+    name = "grid"
+
+    def split(self, g: Graph, weights: np.ndarray, target: float, ctx=None) -> np.ndarray:
+        # GridSplit is purely combinatorial — the context is accepted for
+        # uniform dispatch but carries nothing it can use
         return grid_split(g, weights, target)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return "GridOracle"
+        return "GridOracle()"
 
 
 def is_monotone(coords: np.ndarray, members: np.ndarray, universe: np.ndarray | None = None) -> bool:

@@ -1,4 +1,4 @@
-"""Concrete splitting oracles.
+"""Concrete splitting oracles and the string-keyed oracle registry.
 
 All oracles honor Definition 3's weight window *unconditionally*; they differ
 in cut quality and cost model:
@@ -12,10 +12,22 @@ in cut quality and cost model:
 ``RefinedOracle`` any oracle + FM local refinement
 ``GridOracle``    §6 ``GridSplit`` (see :mod:`repro.separators.grid`)
 ================  ====================================================
+
+Construction is unified behind :data:`REGISTRY` / :func:`make_oracle` — the
+same names the sweep grid's ``oracle=`` param accepts.  Every oracle carries
+a stable ``name`` (the registry-style key, recorded in result records) and a
+constructor-shaped ``__repr__``.
+
+Context-aware oracles set ``accepts_ctx = True`` and take a
+``ctx`` keyword (:class:`repro.separators.solve.SolveContext`) carrying the
+solve cache and the parent level's warm-start vector; plain 3-argument
+oracles remain valid — dispatch through
+:func:`repro.separators.solve.oracle_split` handles both.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -31,6 +43,7 @@ from .orders import (
     random_order,
     sweep_split,
 )
+from .solve import oracle_split
 
 __all__ = [
     "IndexOracle",
@@ -40,6 +53,8 @@ __all__ = [
     "RandomOracle",
     "BestOfOracle",
     "RefinedOracle",
+    "REGISTRY",
+    "make_oracle",
     "default_oracle",
 ]
 
@@ -49,26 +64,31 @@ class _OrderOracle:
 
     #: whether to sweep for the cheapest in-window prefix (vs nearest prefix)
     sweep: bool = True
+    #: this oracle understands the ``ctx`` keyword
+    accepts_ctx: bool = True
+    #: stable registry-style identifier, overridden per subclass
+    name: str = "order"
 
-    def order(self, g: Graph) -> np.ndarray:  # pragma: no cover - abstract
+    def order(self, g: Graph, ctx=None) -> np.ndarray:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def split(self, g: Graph, weights: np.ndarray, target: float) -> np.ndarray:
-        order = self.order(g)
+    def split(self, g: Graph, weights: np.ndarray, target: float, ctx=None) -> np.ndarray:
+        order = self.order(g, ctx=ctx)
         if self.sweep and g.m:
             return sweep_split(g, order, weights, target)
         return prefix_split(order, weights, target)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return type(self).__name__
+        return f"{type(self).__name__}()"
 
 
 class IndexOracle(_OrderOracle):
     """Prefix of the identity order (no structure exploited)."""
 
     sweep = False
+    name = "index"
 
-    def order(self, g: Graph) -> np.ndarray:
+    def order(self, g: Graph, ctx=None) -> np.ndarray:
         return index_order(g)
 
 
@@ -79,47 +99,67 @@ class LexOracle(_OrderOracle):
     base case of ``GridSplit``.
     """
 
-    def order(self, g: Graph) -> np.ndarray:
+    name = "lex"
+
+    def order(self, g: Graph, ctx=None) -> np.ndarray:
         return lexicographic_order(g)
 
 
 class BfsOracle(_OrderOracle):
     """Sweep over the BFS order from a pseudo-peripheral vertex."""
 
-    def order(self, g: Graph) -> np.ndarray:
+    name = "bfs"
+
+    def order(self, g: Graph, ctx=None) -> np.ndarray:
         return bfs_peripheral_order(g)
 
 
 class SpectralOracle(_OrderOracle):
-    """Sweep cut over the Fiedler order of the cost-weighted Laplacian."""
+    """Sweep cut over the Fiedler order of the cost-weighted Laplacian.
 
-    def order(self, g: Graph) -> np.ndarray:
-        return fiedler_order(g)
+    The only oracle that *uses* the context: its eigensolves consult the
+    solve cache and warm-start from the parent level's vector.
+    """
+
+    name = "spectral"
+
+    def order(self, g: Graph, ctx=None) -> np.ndarray:
+        return fiedler_order(g, ctx=ctx)
 
 
 class RandomOracle(_OrderOracle):
     """Prefix of a seeded random order — the quality floor."""
 
     sweep = False
+    name = "random"
 
     def __init__(self, seed: int = 0):
         self.seed = seed
 
-    def order(self, g: Graph) -> np.ndarray:
+    def order(self, g: Graph, ctx=None) -> np.ndarray:
         return random_order(g, rng=self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RandomOracle(seed={self.seed})"
 
 
 class BestOfOracle:
     """Run a portfolio of oracles, keep the cheapest valid cut."""
 
+    accepts_ctx = True
+
     def __init__(self, oracles: Sequence | None = None):
         self.oracles = list(oracles) if oracles is not None else [BfsOracle(), SpectralOracle(), LexOracle()]
 
-    def split(self, g: Graph, weights: np.ndarray, target: float) -> np.ndarray:
+    @property
+    def name(self) -> str:
+        return "best(" + ",".join(o.name for o in self.oracles) + ")"
+
+    def split(self, g: Graph, weights: np.ndarray, target: float, ctx=None) -> np.ndarray:
         best = None
         best_cost = np.inf
         for oracle in self.oracles:
-            u = oracle.split(g, weights, target)
+            u = oracle_split(oracle, g, weights, target, ctx)
             cost = g.boundary_cost(u)
             if cost < best_cost:
                 best, best_cost = u, cost
@@ -133,12 +173,18 @@ class BestOfOracle:
 class RefinedOracle:
     """Wrap an oracle with an FM refinement pass (window-preserving)."""
 
+    accepts_ctx = True
+
     def __init__(self, base=None, max_passes: int = 3):
         self.base = base if base is not None else SpectralOracle()
         self.max_passes = max_passes
 
-    def split(self, g: Graph, weights: np.ndarray, target: float) -> np.ndarray:
-        u = self.base.split(g, weights, target)
+    @property
+    def name(self) -> str:
+        return f"refined({self.base.name})"
+
+    def split(self, g: Graph, weights: np.ndarray, target: float, ctx=None) -> np.ndarray:
+        u = oracle_split(self.base, g, weights, target, ctx)
         if g.n > 20_000:
             # FM is a python loop over boundary vertices; skip on big inputs
             return u
@@ -148,15 +194,58 @@ class RefinedOracle:
         return f"RefinedOracle({self.base!r})"
 
 
-def default_oracle(g: Graph | None = None):
-    """The library default: grid-aware best-of portfolio.
+# ----------------------------------------------------------------------
+# registry — the one place oracle names resolve to instances
+# ----------------------------------------------------------------------
+def _grid_oracle():
+    from .grid import GridOracle  # lazy: grid imports from this package
 
-    Grids get ``GridSplit`` in the mix (imported lazily to avoid a cycle).
-    """
-    from .grid import GridOracle
+    return GridOracle()
 
+
+def _default_portfolio(seed: int = 0, g: Graph | None = None):
     oracles = [BfsOracle(), SpectralOracle()]
     if g is not None and g.coords is not None:
-        oracles.append(GridOracle())
+        oracles.append(_grid_oracle())
         oracles.append(LexOracle())
     return BestOfOracle(oracles)
+
+
+#: ``name -> builder(seed=..., g=...)``; the sweep grid's ``oracle=`` param,
+#: ``repro.separators.make_oracle`` and the (deprecated)
+#: ``runtime.make_oracle`` / ``default_oracle`` entry points all resolve here
+REGISTRY = {
+    "best": lambda seed=0, g=None: BestOfOracle([BfsOracle(), SpectralOracle()]),
+    "best3": lambda seed=0, g=None: BestOfOracle([BfsOracle(), SpectralOracle(), _grid_oracle()]),
+    "bfs": lambda seed=0, g=None: BfsOracle(),
+    "spectral": lambda seed=0, g=None: SpectralOracle(),
+    "lex": lambda seed=0, g=None: LexOracle(),
+    "index": lambda seed=0, g=None: IndexOracle(),
+    "grid": lambda seed=0, g=None: _grid_oracle(),
+    "random": lambda seed=0, g=None: RandomOracle(seed=seed),
+    "refined": lambda seed=0, g=None: RefinedOracle(),
+    "default": _default_portfolio,
+}
+
+
+def make_oracle(name: str, seed: int = 0, g: Graph | None = None):
+    """Build an oracle from its registry name.
+
+    ``seed`` feeds seeded oracles (``random``); ``g`` lets instance-aware
+    builders (``default``) adapt — grids get ``GridSplit`` in the mix.
+    """
+    try:
+        builder = REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown oracle {name!r}; known: {', '.join(sorted(REGISTRY))}") from None
+    return builder(seed=seed, g=g)
+
+
+def default_oracle(g: Graph | None = None):
+    """Deprecated alias for ``make_oracle("default", g=g)``."""
+    warnings.warn(
+        "default_oracle() is deprecated; use repro.separators.make_oracle('default', g=g)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return make_oracle("default", g=g)

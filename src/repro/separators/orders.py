@@ -65,65 +65,196 @@ def random_order(g: Graph, rng=None) -> np.ndarray:
     return as_rng(rng).permutation(g.n).astype(np.int64)
 
 
-def fiedler_vector(g: Graph, tol: float = 1e-6) -> np.ndarray:
-    """Fiedler vector of the cost-weighted Laplacian of a *connected* graph.
+#: dense eigendecomposition below this size, shift-inverted Lanczos above
+DENSE_CUTOFF = 128
 
-    Uses dense eigendecomposition below 128 vertices and Lanczos
-    (shift-inverted ``eigsh``) above; falls back to a BFS-distance embedding
-    if the eigensolver fails to converge.
+#: relative size of the deterministic symmetry-breaking diagonal ramp; large
+#: enough to split degenerate Fiedler eigenspaces (symmetric grids have a
+#: doubly-degenerate λ₂) far beyond solver tolerance, small enough that the
+#: selected vector still sweeps to near-optimal cuts
+RAMP_DELTA = 1e-3
+
+#: fixed eigensolver tolerance — tight, so the solved vector (and hence the
+#: sweep order) does not depend on the quality of the warm-start hint
+EIGSH_TOL = 1e-10
+
+
+def _canonical_sign(vec: np.ndarray) -> np.ndarray:
+    """Flip ``vec`` so its first significantly non-zero entry is positive.
+
+    The threshold is relative, so near-zero leading entries (whose sign is
+    solver noise) cannot decide the orientation — this is what kept the
+    sweep-cut orientation flipping between SciPy versions.
+    """
+    if vec.size == 0:
+        return vec
+    scale = float(np.max(np.abs(vec)))
+    if scale == 0.0:
+        return vec
+    significant = np.flatnonzero(np.abs(vec) > 1e-8 * scale)
+    if significant.size and vec[significant[0]] < 0:
+        return -vec
+    return vec
+
+
+def _component_fiedler(g: Graph, hint: np.ndarray | None, tol: float) -> np.ndarray:
+    """Sign-canonical Fiedler vector of one positively-connected component.
+
+    A deterministic diagonal ramp (``RAMP_DELTA`` relative to the mean cost
+    degree) is added to the Laplacian so the second eigenvector is *unique*
+    — without it, symmetric instances leave an eigenspace whose basis the
+    solver picks start-vector-dependently.  ``hint`` (the interpolated
+    parent-level vector) seeds the Lanczos iteration; the tight tolerance
+    makes the converged vector independent of the seed, so warm starts save
+    iterations without changing results.
     """
     import scipy.sparse as sp
     import scipy.sparse.linalg as spla
 
+    from .solve import COUNTERS
+
     n = g.n
     if n <= 2:
         return np.arange(n, dtype=np.float64)
+    COUNTERS["solves"] += 1
     rows = np.concatenate([g.edges[:, 0], g.edges[:, 1]])
     cols = np.concatenate([g.edges[:, 1], g.edges[:, 0]])
     vals = np.concatenate([g.costs, g.costs])
     adj = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
     deg = np.asarray(adj.sum(axis=1)).ravel()
-    lap = sp.diags(deg) - adj
-    if n < 128:
-        eigvals, eigvecs = np.linalg.eigh(lap.toarray())
-        return eigvecs[:, 1]
-    try:
-        # deterministic start vector for reproducibility
+    scale = float(deg.mean()) if n else 0.0
+    if scale <= 0.0:
+        scale = 1.0
+    ramp = RAMP_DELTA * scale * (np.arange(n, dtype=np.float64) / (n - 1))
+    lap = sp.diags(deg + ramp) - adj
+    if n < DENSE_CUTOFF:
+        COUNTERS["dense"] += 1
+        _, eigvecs = np.linalg.eigh(lap.toarray())
+        return _canonical_sign(eigvecs[:, 1])
+    # seeded start vector: the hint (deflated against the constant mode)
+    # when present and well-conditioned, else a fixed cosine ramp
+    v0 = None
+    if hint is not None and hint.size == n and np.all(np.isfinite(hint)):
+        d = hint - float(hint.mean())
+        norm = float(np.linalg.norm(d))
+        if norm > 1e-12 * max(1.0, float(np.max(np.abs(hint)))) * np.sqrt(n):
+            v0 = d / norm
+            COUNTERS["warm_starts"] += 1
+    if v0 is None:
         v0 = np.cos(np.arange(n, dtype=np.float64))
-        eigvals, eigvecs = spla.eigsh(lap, k=2, sigma=-1e-4, which="LM", v0=v0, tol=tol)
+    try:
+        COUNTERS["iterative"] += 1
+        eigvals, eigvecs = spla.eigsh(
+            lap, k=2, sigma=-1e-4 * scale, which="LM", v0=v0, tol=tol
+        )
         order = np.argsort(eigvals)
-        return eigvecs[:, order[1]]
+        return _canonical_sign(eigvecs[:, order[1]])
     except Exception:
+        COUNTERS["fallbacks"] += 1
         from ..graphs.components import bfs_levels
 
         lev = bfs_levels(g, [pseudo_peripheral_vertex(g)])
         return lev.astype(np.float64)
 
 
-def fiedler_order(g: Graph) -> np.ndarray:
+def _scale01(vec: np.ndarray) -> np.ndarray:
+    lo, hi = float(np.min(vec)), float(np.max(vec))
+    if hi > lo:
+        return (vec - lo) / (hi - lo)
+    return np.zeros_like(vec)
+
+
+def _positive_components(g: Graph) -> np.ndarray:
+    """Component labels over *positive-cost* edges only.
+
+    Zero-cost edges do not enter the Laplacian, so a component that is only
+    connected through them has a degenerate (multiplicity > 1) kernel and
+    no well-defined Fiedler vector; solving per positive component subsumes
+    both genuinely disconnected graphs and zero-cost-edge degeneracy.
+    """
+    if g.m and float(np.min(g.costs)) <= 0.0:
+        keep = g.costs > 0.0
+        gpos = Graph(g.n, g.edges[keep], g.costs[keep], _validate=False)
+        return connected_components(gpos)
+    return connected_components(g)
+
+
+def fiedler_vector(g: Graph, x0: np.ndarray | None = None, tol: float = EIGSH_TOL, ctx=None) -> np.ndarray:
+    """Deterministic Fiedler embedding of the cost-weighted Laplacian.
+
+    Solved per component of the positive-cost edge set (seeded start
+    vector, symmetry-breaking ramp, canonical sign — see
+    :func:`_component_fiedler`); components are composed into one full-length
+    vector ``2·cid + scaled component vector``, so the stable argsort keeps
+    components contiguous and each internally in Fiedler order.
+
+    ``x0`` (or the vector field carried by ``ctx``) warm-starts the
+    eigensolve.  Solves are memoized in ``ctx``'s :class:`SolveCache` keyed
+    by :meth:`Graph.structural_hash` *plus the exact hint bytes* — the hint
+    is part of the key, so a hit only ever replaces the identical
+    (deterministic) recomputation and is bitwise equal to it.  Toggling the
+    cache therefore cannot change any downstream record.
+    """
+    n = g.n
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    hint = x0
+    if hint is None and ctx is not None:
+        hint = ctx.hint_for(g)
+    cache = ctx.cache if ctx is not None else None
+    key = None
+    if cache is not None and n > 2:
+        key = g.structural_hash()
+        if hint is not None:
+            import hashlib
+
+            key += ":" + hashlib.sha256(
+                np.ascontiguousarray(hint, dtype=np.float64).tobytes()
+            ).hexdigest()[:16]
+        cached = cache.get(key)
+        if cached is not None:
+            if ctx is not None:
+                ctx.note(g, cached)
+            return cached
+    if n <= 2:
+        vec = np.arange(n, dtype=np.float64)
+    else:
+        comp = _positive_components(g)
+        ncomp = int(comp.max()) + 1
+        if ncomp == 1:
+            vec = _component_fiedler(g, hint, tol)
+        else:
+            vec = np.empty(n, dtype=np.float64)
+            for cid in range(ncomp):
+                members = np.flatnonzero(comp == cid).astype(np.int64)
+                if members.size <= 2:
+                    inner = np.arange(members.size, dtype=np.float64)
+                else:
+                    sub = g.subgraph(members)
+                    inner = _component_fiedler(
+                        sub.graph, hint[members] if hint is not None else None, tol
+                    )
+                vec[members] = 2.0 * cid + _scale01(inner)
+    vec = np.asarray(vec, dtype=np.float64)
+    vec.setflags(write=False)
+    if key is not None:
+        cache.put(key, vec)
+    if ctx is not None:
+        ctx.note(g, vec)
+    return vec
+
+
+def fiedler_order(g: Graph, ctx=None) -> np.ndarray:
     """Vertices sorted by Fiedler value, component by component.
 
-    Disconnected graphs are handled by concatenating components (each
-    internally in Fiedler order), which keeps prefixes cut-free across
-    component boundaries.
+    The component-composed :func:`fiedler_vector` keeps disconnected (and
+    zero-cost-bridged) pieces contiguous in the order, so prefixes stay
+    cut-free across component boundaries.
     """
     if g.n == 0:
         return np.zeros(0, dtype=np.int64)
-    comp = connected_components(g)
-    ncomp = int(comp.max()) + 1 if g.n else 0
-    if ncomp == 1:
-        vec = fiedler_vector(g)
-        return np.argsort(vec, kind="stable").astype(np.int64)
-    pieces = []
-    for cid in range(ncomp):
-        members = np.flatnonzero(comp == cid).astype(np.int64)
-        if members.size <= 2:
-            pieces.append(members)
-            continue
-        sub = g.subgraph(members)
-        vec = fiedler_vector(sub.graph)
-        pieces.append(members[np.argsort(vec, kind="stable")])
-    return np.concatenate(pieces)
+    vec = fiedler_vector(g, ctx=ctx)
+    return np.argsort(vec, kind="stable").astype(np.int64)
 
 
 # ----------------------------------------------------------------------

@@ -439,6 +439,13 @@ class DecompositionService:
                     self.journal.delete(sid)
                 self.sessions_expired += 1
 
+    async def stats_async(self) -> dict:
+        """The ``stats`` wire-op payload: :meth:`stats` plus the oracle
+        cache tier (per-shard eigensolver counters, asked on the workers)."""
+        doc = self.stats()
+        doc["oracle_cache"] = await self.pool.solver_stats()
+        return doc
+
     def stats(self) -> dict:
         return {
             "protocol_version": PROTOCOL_VERSION,
@@ -472,12 +479,12 @@ async def _handle_request(service: DecompositionService, req: dict, stop: asynci
     op = req.get("op")
     if op == "ping":
         return {"id": rid, "ok": True, "pong": PROTOCOL_VERSION}
-    if op == "stats":
-        return {"id": rid, "ok": True, "stats": service.stats()}
     if op == "shutdown":
         stop.set()
         return {"id": rid, "ok": True, "stopping": True}
     try:
+        if op == "stats":
+            return {"id": rid, "ok": True, "stats": await service.stats_async()}
         if op in STREAM_OPS:
             out = await service.stream_request(op, req)
             return {"id": rid, **out}
@@ -497,12 +504,17 @@ async def serve(
     port: int = 8642,
     ready=None,
     idle_timeout: float | None = None,
+    on_close=None,
 ) -> None:
     """Run the TCP front-end until a ``shutdown`` request (or cancellation).
 
     ``ready`` is an optional callback invoked with the bound ``(host, port)``
     once the socket is listening — tests and ``repro serve`` use it to learn
     the ephemeral port when ``port=0``.
+
+    ``on_close`` is an optional callback invoked with the final stats
+    document (including the oracle-cache tier) after the listener stops but
+    before the shard pool shuts down — ``repro serve`` logs it.
 
     ``idle_timeout`` (seconds) reaps connections with no traffic: a client
     that neither sends a request nor has one in flight for that long is
@@ -606,4 +618,11 @@ async def serve(
                 task.cancel()
             if pending:
                 await asyncio.wait(pending, timeout=1.0)
+        if on_close is not None:
+            # the workers are still alive here, so the stats document can
+            # include their oracle-cache counters one last time
+            try:
+                on_close(await service.stats_async())
+            except Exception:
+                pass  # a stats failure must not block shutdown
         await service.close()

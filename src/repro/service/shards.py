@@ -24,7 +24,7 @@ from concurrent.futures.process import BrokenProcessPool
 from ..runtime import InstanceCache, Scenario
 from ..runtime.engine import run_scenario, worker_init, worker_run_record
 
-__all__ = ["ShardPool", "shard_run"]
+__all__ = ["ShardPool", "shard_run", "shard_solver_stats"]
 
 #: distinguishes pools within one process — the inline (``shards=0``) mode
 #: shares the worker-side session registry with every other inline pool in
@@ -48,6 +48,45 @@ def shard_run(scenarios: list[Scenario], run=None) -> list[dict]:
         except Exception as exc:  # noqa: BLE001 — the wire carries the reason
             out.append({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
     return out
+
+
+def shard_solver_stats() -> dict:
+    """Executed inside a shard process: its eigensolver cache/counter stats.
+
+    The oracle cache tier *is* the per-worker
+    :class:`~repro.separators.solve.SolveCache` — instance-hash routing keeps
+    repeats on the shard whose cache is already warm — so service-level
+    observability means asking each worker for its process-local stats.
+    """
+    from ..separators.solve import solver_stats
+
+    return solver_stats()
+
+
+def _aggregate_solver_stats(per_shard: list[dict]) -> dict:
+    """Sum per-shard counter/cache stats into one service-level view."""
+    counters: dict = {}
+    cache: dict = {}
+    have_cache = False
+    enabled = False
+    for stats in per_shard:
+        if "error" in stats:
+            continue
+        enabled = enabled or bool(stats.get("enabled"))
+        for k, v in stats.get("counters", {}).items():
+            counters[k] = counters.get(k, 0) + int(v)
+        c = stats.get("cache")
+        if c:
+            have_cache = True
+            for k, v in c.items():
+                if isinstance(v, (int, float)):
+                    cache[k] = cache.get(k, 0) + int(v)
+    return {
+        "enabled": enabled,
+        "counters": counters,
+        "cache": cache if have_cache else None,
+        "per_shard": per_shard,
+    }
 
 
 class ShardPool:
@@ -175,6 +214,31 @@ class ShardPool:
         except Exception:
             pass  # the pool is already broken; releasing it is best-effort
         self._executors[shard] = self._spawn_executor()
+
+    async def solver_stats(self) -> dict:
+        """Aggregate per-shard eigensolver/oracle-cache stats.
+
+        The inline (``shards=0``) mode shares this process's counters, so it
+        is answered directly; process shards are each asked on their worker.
+        A shard that cannot answer (worker mid-respawn) contributes an
+        ``error`` entry instead of failing the whole stats request.
+        """
+        if self.shards == 0:
+            per_shard = [shard_solver_stats()]
+        else:
+            loop = asyncio.get_running_loop()
+            results = await asyncio.gather(
+                *(
+                    loop.run_in_executor(ex, shard_solver_stats)
+                    for ex in self._executors
+                ),
+                return_exceptions=True,
+            )
+            per_shard = [
+                r if isinstance(r, dict) else {"error": f"{type(r).__name__}: {r}"}
+                for r in results
+            ]
+        return _aggregate_solver_stats(per_shard)
 
     def stats(self) -> dict:
         return {

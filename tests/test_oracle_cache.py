@@ -1,0 +1,282 @@
+"""Tests for the spectral solve cache, SolveContext, and the oracle registry.
+
+The load-bearing property under test: records are byte-identical with the
+solve cache on or off, and with warm starts hot or cold — the cache only
+memoizes canonical (hint-free) solves, and the fixed-tolerance solver makes
+the converged vector independent of its start vector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, disjoint_union, grid_graph, path_graph, unit_weights
+from repro.runtime import Scenario, run_scenario
+from repro.separators import (
+    REGISTRY,
+    SolveCache,
+    SolveContext,
+    check_split_window,
+    fiedler_order,
+    fiedler_vector,
+    make_oracle,
+    oracle_split,
+    process_cache,
+    reset_solver_state,
+    solver_stats,
+)
+from repro.separators.solve import COUNTERS
+
+
+@pytest.fixture(autouse=True)
+def _fresh_solver_state():
+    reset_solver_state()
+    yield
+    reset_solver_state()
+
+
+def big_grid(seed=0):
+    """A grid large enough for the iterative (warm-startable) eigensolver."""
+    g = grid_graph(20, 20)
+    rng = np.random.default_rng(seed)
+    return g.with_costs(rng.uniform(0.5, 2.0, g.m))
+
+
+class TestSolveCache:
+    def test_hit_returns_bitwise_identical_vector(self):
+        g = big_grid()
+        cache = SolveCache()
+        cold = fiedler_vector(g, ctx=SolveContext.for_graph(g, cache=cache))
+        hit = fiedler_vector(g, ctx=SolveContext.for_graph(g, cache=cache))
+        assert hit.tobytes() == cold.tobytes()
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert COUNTERS["solves"] == 1  # the hit skipped the eigensolve
+
+    def test_cached_vectors_are_read_only(self):
+        g = big_grid()
+        cache = SolveCache()
+        vec = fiedler_vector(g, ctx=SolveContext.for_graph(g, cache=cache))
+        with pytest.raises(ValueError):
+            vec[0] = 1.0
+
+    def test_lru_eviction_accounting(self):
+        cache = SolveCache(maxsize=2)
+        graphs = [big_grid(seed=s) for s in range(3)]
+        for g in graphs:
+            fiedler_vector(g, ctx=SolveContext.for_graph(g, cache=cache))
+        stats = cache.stats()
+        assert stats == {"entries": 2, "maxsize": 2, "hits": 0,
+                         "misses": 3, "evictions": 1}
+        # the first graph was evicted; the last two are resident
+        assert graphs[0].structural_hash() not in cache
+        assert graphs[2].structural_hash() in cache
+
+    def test_hint_is_part_of_the_cache_key(self):
+        g = big_grid()
+        cache = SolveCache()
+        hint = np.linspace(0.0, 1.0, g.n)
+        first = fiedler_vector(g, x0=hint, ctx=SolveContext.for_graph(g, cache=cache))
+        again = fiedler_vector(g, x0=hint, ctx=SolveContext.for_graph(g, cache=cache))
+        # the identical (graph, hint) pair hits, bitwise
+        assert again.tobytes() == first.tobytes()
+        assert cache.stats()["hits"] == 1 and COUNTERS["solves"] == 1
+        # a different hint is a different key — it must NOT be served the
+        # other hint's vector (that is what keeps memoization exact)
+        fiedler_vector(g, x0=hint * 2.0 + 1.0,
+                       ctx=SolveContext.for_graph(g, cache=cache))
+        assert cache.stats()["misses"] == 2
+        # and the hint-free canonical solve is yet another key
+        fiedler_vector(g, ctx=SolveContext.for_graph(g, cache=cache))
+        assert cache.stats()["misses"] == 3
+        assert cache.stats()["entries"] == 3
+
+    def test_structural_hash_ignores_coords_and_sees_costs(self):
+        g = grid_graph(5, 5)
+        bare = Graph(g.n, g.edges, g.costs)  # same structure, no coords
+        assert g.structural_hash() == bare.structural_hash()
+        assert g.structural_hash() != g.with_costs(2.0 * g.costs).structural_hash()
+
+    def test_env_toggle_disables_process_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORACLE_CACHE", "0")
+        reset_solver_state()
+        assert process_cache() is None
+        assert solver_stats() == {"enabled": False,
+                                  "counters": dict(COUNTERS), "cache": None}
+        monkeypatch.setenv("REPRO_ORACLE_CACHE", "1")
+        reset_solver_state()
+        assert process_cache() is not None
+
+    def test_env_size_bounds_process_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORACLE_CACHE_SIZE", "3")
+        reset_solver_state()
+        assert process_cache().maxsize == 3
+
+
+class TestWarmStartDeterminism:
+    def test_warm_equals_cold_on_grid(self):
+        g = big_grid()
+        cold = fiedler_vector(g)
+        hint = cold + np.random.default_rng(1).normal(0.0, 0.02, g.n)
+        warm = fiedler_vector(g, x0=hint)
+        assert COUNTERS["warm_starts"] == 1
+        # the tight tolerance + symmetry-breaking ramp make the converged
+        # vector hint-independent: identical sweep order, near-identical
+        # values (both far below the ramp-induced eigengap)
+        assert np.array_equal(np.argsort(cold, kind="stable"),
+                              np.argsort(warm, kind="stable"))
+        assert float(np.max(np.abs(cold - warm))) < 1e-9
+
+    def test_degenerate_hint_falls_back_to_cold_start(self):
+        g = big_grid()
+        cold = fiedler_vector(g)
+        warm = fiedler_vector(g, x0=np.ones(g.n))  # deflates to ~zero
+        assert COUNTERS["warm_starts"] == 0
+        assert warm.tobytes() == cold.tobytes()
+
+    def test_context_threads_hints_through_pipeline(self):
+        from repro.core import min_max_partition
+
+        g = big_grid()
+        res = min_max_partition(g, 4, oracle=make_oracle("spectral"))
+        assert res.is_strictly_balanced()
+        assert COUNTERS["solves"] > 1
+        # the shrink recursion's subgraph solves start from the interpolated
+        # parent-level vector — that is the whole point of SolveContext
+        assert COUNTERS["warm_starts"] > 0
+
+    def test_subgraph_context_restricts_and_scatters(self):
+        g = big_grid()
+        ctx = SolveContext.for_graph(g, cache=None)
+        full = fiedler_vector(g, ctx=ctx)
+        sub = g.subgraph(np.arange(g.n // 2, dtype=np.int64))
+        child = ctx.for_subgraph(sub)
+        # the child starts from the restriction of the parent's field
+        assert np.array_equal(child.hint_for(sub.graph), full[: g.n // 2])
+        solved = fiedler_vector(sub.graph, ctx=child)
+        # ...and its solve scatters back up into the parent's field
+        assert np.array_equal(ctx.hint_for(g)[: g.n // 2], solved)
+        assert np.array_equal(ctx.hint_for(g)[g.n // 2:], full[g.n // 2:])
+
+
+class TestDegenerateGraphs:
+    def test_disconnected_components_stay_contiguous(self):
+        g = disjoint_union([grid_graph(6, 6), path_graph(9), grid_graph(4, 5)])
+        order = fiedler_order(g)
+        comp_sizes = [36, 9, 20]
+        starts = np.cumsum([0] + comp_sizes)
+        # vertices of each component occupy one contiguous block of the order
+        comp_of = np.searchsorted(starts, order, side="right")
+        switches = int(np.count_nonzero(np.diff(comp_of)))
+        assert switches == len(comp_sizes) - 1
+
+    def test_disconnected_solve_is_deterministic(self):
+        g = disjoint_union([grid_graph(13, 13), grid_graph(12, 12)])
+        a = fiedler_vector(g)
+        b = fiedler_vector(g)
+        assert a.tobytes() == b.tobytes()
+
+    def test_zero_cost_edges_do_not_break_the_solve(self):
+        # two grids bridged by a single zero-cost edge: the Laplacian of the
+        # full graph is degenerate, but per-positive-component solving is not
+        a, b = grid_graph(6, 6), grid_graph(6, 6)
+        g = disjoint_union([a, b])
+        edges = np.vstack([g.edges, [[0, a.n]]])
+        costs = np.concatenate([g.costs, [0.0]])
+        bridged = Graph(g.n, edges, costs)
+        v1 = fiedler_vector(bridged)
+        v2 = fiedler_vector(bridged)
+        assert v1.tobytes() == v2.tobytes()
+        order = fiedler_order(bridged)
+        # the zero-cost bridge must not interleave the two sides
+        sides = (order >= a.n).astype(np.int64)
+        assert int(np.abs(np.diff(sides)).sum()) == 1
+
+    def test_split_window_holds_on_degenerate_graphs(self):
+        g = disjoint_union([grid_graph(5, 5), path_graph(7)])
+        w = unit_weights(g)
+        for name in ("spectral", "best", "bfs"):
+            u = make_oracle(name).split(g, w, g.n / 2.0)
+            assert check_split_window(w, g.n / 2.0, u)
+
+
+class TestRegistry:
+    def test_known_names_build_named_oracles(self):
+        for name in sorted(REGISTRY):
+            oracle = make_oracle(name, seed=1)
+            assert isinstance(oracle.name, str) and oracle.name
+            assert isinstance(repr(oracle), str)
+
+    def test_unknown_name_is_a_value_error(self):
+        with pytest.raises(ValueError, match="unknown oracle 'nope'"):
+            make_oracle("nope")
+        with pytest.raises(ValueError, match="spectral"):
+            make_oracle("typo")  # the message lists the known names
+
+    def test_runtime_shim_warns_and_keeps_keyerror(self):
+        from repro.runtime import make_oracle as runtime_make_oracle
+
+        with pytest.warns(DeprecationWarning, match="repro.separators.make_oracle"):
+            oracle = runtime_make_oracle("bfs")
+        assert oracle.name == "bfs"
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError):
+                runtime_make_oracle("nope")
+
+    def test_composite_names_reflect_parts(self):
+        best = make_oracle("best")
+        assert best.name.startswith("best(") and "spectral" in best.name
+        refined = make_oracle("refined")
+        assert refined.name.startswith("refined(")
+
+    def test_grid_oracle_dispatch_with_context(self):
+        g = grid_graph(8, 8)
+        w = unit_weights(g)
+        ctx = SolveContext.for_graph(g, cache=SolveCache())
+        for name in ("grid", "best", "spectral"):
+            u = oracle_split(make_oracle(name, g=g), g, w, 20.0, ctx)
+            assert check_split_window(w, 20.0, u)
+
+    def test_plain_three_arg_oracles_still_dispatch(self):
+        class Plain:
+            def split(self, g, weights, target):
+                return np.arange(int(round(target)), dtype=np.int64)
+
+        g = grid_graph(4, 4)
+        ctx = SolveContext.for_graph(g, cache=None)
+        u = oracle_split(Plain(), g, unit_weights(g), 8.0, ctx)
+        assert u.size == 8
+
+
+def _smoke_records(scenarios):
+    return [run_scenario(s).record() for s in scenarios]
+
+
+class TestByteIdentity:
+    SCENARIOS = [
+        Scenario(family="grid", size=16, k=4, algorithm="minmax", weights="zipf"),
+        Scenario(family="mesh", size=12, k=3, algorithm="recursive-bisection"),
+        Scenario(family="grid", size=16, k=2, algorithm="kst", weights="bimodal"),
+    ]
+
+    def test_records_identical_cache_on_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORACLE_CACHE", "1")
+        reset_solver_state()
+        hot = _smoke_records(self.SCENARIOS)
+        # run the grid twice hot so later runs really are served from cache
+        again = _smoke_records(self.SCENARIOS)
+        assert hot == again
+        monkeypatch.setenv("REPRO_ORACLE_CACHE", "0")
+        reset_solver_state()
+        cold = _smoke_records(self.SCENARIOS)
+        assert cold == hot
+
+    def test_records_name_their_oracle(self):
+        recs = _smoke_records(self.SCENARIOS[:1])
+        assert recs[0]["metrics"]["oracle"].startswith("best(")
+
+    def test_solver_stats_stay_out_of_records(self):
+        r = run_scenario(self.SCENARIOS[0])
+        assert r.solver_stats is not None and r.solver_stats["solves"] >= 0
+        assert "solver" not in r.record()
+        for key in r.record()["metrics"]:
+            assert key not in COUNTERS

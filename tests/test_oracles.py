@@ -15,6 +15,7 @@ from repro.separators import (
     check_split_window,
     default_oracle,
     fm_refine,
+    make_oracle,
     split_result,
 )
 
@@ -76,11 +77,17 @@ class TestQualityOrdering:
 
     def test_default_oracle_grid_aware(self):
         g = grid_graph(6, 6)
-        oracle = default_oracle(g)
-        names = [repr(o) for o in oracle.oracles]
-        assert "GridOracle" in names
+        oracle = make_oracle("default", g=g)
+        names = [o.name for o in oracle.oracles]
+        assert "grid" in names
         u = oracle.split(g, unit_weights(g), 18.0)
         assert check_split_window(unit_weights(g), 18.0, u)
+
+    def test_default_oracle_shim_warns(self):
+        g = grid_graph(6, 6)
+        with pytest.warns(DeprecationWarning):
+            oracle = default_oracle(g)
+        assert "grid" in [o.name for o in oracle.oracles]
 
 
 class TestFmRefine:
