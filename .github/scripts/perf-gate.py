@@ -9,9 +9,11 @@ across machines where absolute seconds would not.  A case regresses when
 its ratio drops more than ``tolerance`` (default: the baseline's
 ``tolerance`` field, 0.20) below the baseline's conservative reference.
 Any case with non-byte-identical outputs fails outright, headline cases
-must additionally clear the baseline's ``min_headline_speedup``, and every
-baseline case recorded for the run's mode (smoke/full) must be present —
-a silently dropped case cannot pass green.
+must additionally clear the baseline's ``min_headline_speedup``, a case
+whose baseline entry carries a ``min`` field must clear that absolute
+floor (ratio tolerance does not apply to it), and every baseline case
+recorded for the run's mode (smoke/full) must be present — a silently
+dropped case cannot pass green.
 """
 
 import json
@@ -55,6 +57,12 @@ def main(argv: list) -> int:
             print(f"  {key}: {cur['speedup']}x (no baseline entry, informational)")
             continue
         compared += 1
+        hard_min = base.get("min")
+        if hard_min is not None and cur["speedup"] < float(hard_min):
+            failures.append(
+                f"{key}: speedup {cur['speedup']}x below the absolute "
+                f"floor {hard_min}x this case must always clear"
+            )
         floor = base["speedup"] / (1.0 + tolerance)
         status = "ok" if cur["speedup"] >= floor else "REGRESSED"
         print(

@@ -126,6 +126,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="escape hatch: keep journaling (if --journal-dir is "
                     "set) but never replay — crashed sessions report "
                     "'session lost' as without a journal")
+    sv.add_argument("--kernel",
+                    help="FM kernel the shards default to (bucket, incremental, "
+                    "reference); exported as REPRO_KERNEL before workers spawn")
     sv.add_argument("--no-oracle-cache", action="store_true",
                     help="disable the per-shard eigensolver result cache "
                     "(responses are byte-identical either way)")
@@ -189,6 +192,9 @@ def _add_grid_arguments(sub) -> None:
                      "implies algorithm=stream scenarios)")
     sub.add_argument("--policy", nargs="+",
                      help="streaming repair policies (repair, patch, recompute); "
+                     "expands the params axis")
+    sub.add_argument("--kernel", nargs="+",
+                     help="FM kernels (bucket, incremental, reference); "
                      "expands the params axis")
 
 
@@ -275,6 +281,20 @@ def _grid_from_args(args, command: str):
             for cell in cells for t in traces for p in policies
         ]
         axes.setdefault("algorithm", ["stream"])
+    kernels = getattr(args, "kernel", None)
+    if kernels:
+        # --kernel crosses the params axis like --trace / --policy; names are
+        # validated here so typos die at the prompt, not mid-sweep
+        from .core.kernels import REGISTRY as _KERNELS
+
+        for name in kernels:
+            if name not in _KERNELS:
+                raise SystemExit(
+                    f"{command}: unknown kernel {name!r} "
+                    f"(have {', '.join(sorted(_KERNELS))})"
+                )
+        cells = axes.get("params") or [{}]
+        axes["params"] = [{**cell, "kernel": kn} for cell in cells for kn in kernels]
     grid = ScenarioGrid(**axes)
     registries = {
         "family": FAMILIES, "weights": WEIGHT_DISTS,
@@ -396,6 +416,20 @@ def _run_serve(args) -> int:
         os.environ["REPRO_ORACLE_CACHE"] = "0"
     if args.oracle_cache_size is not None:
         os.environ["REPRO_ORACLE_CACHE_SIZE"] = str(args.oracle_cache_size)
+    if args.kernel is not None:
+        from .core.kernels import REGISTRY as _KERNELS
+
+        if args.kernel not in _KERNELS:
+            raise SystemExit(
+                f"serve: unknown kernel {args.kernel!r} "
+                f"(have {', '.join(sorted(_KERNELS))})"
+            )
+        os.environ["REPRO_KERNEL"] = args.kernel
+        # this process already imported core.kernels with the old default;
+        # pin it too so inline paths match the shards
+        from .core.kernels import set_default_kernel
+
+        set_default_kernel(args.kernel)
     try:
         service = DecompositionService(
             shards=args.shards,

@@ -34,10 +34,16 @@ from .shrink import (
 )
 from .hierarchy import HierarchicalResult, hierarchical_partition
 from .kernels import (
+    DEFAULT_KERNEL,
+    KernelState,
+    PairKernel,
     fm_pair_pass,
+    fm_pair_pass_bucket,
     fm_pair_pass_reference,
     kernel_override,
+    make_kernel,
     run_pair_kernel,
+    use_kernel,
 )
 from .refine import kway_refine, pairwise_refine
 from .strictify import improve_balance
@@ -58,10 +64,16 @@ __all__ = [
     "HierarchicalResult",
     "hierarchical_partition",
     "pairwise_refine",
+    "DEFAULT_KERNEL",
+    "KernelState",
+    "PairKernel",
     "fm_pair_pass",
+    "fm_pair_pass_bucket",
     "fm_pair_pass_reference",
     "kernel_override",
+    "make_kernel",
     "run_pair_kernel",
+    "use_kernel",
     "binpack_merge",
     "binpack_strict",
     "extract_chunk",

@@ -1,0 +1,194 @@
+"""Runtime-compiled C inner loop for the bucket-queue FM kernel (optional).
+
+The bucket kernel's :class:`~repro.core.kernels.KernelState` is deliberately
+flat arrays — a gain table, a bucket-occupancy bitmap, per-bucket counts and
+head hints — precisely so the move loop can run outside the interpreter.
+This module compiles that loop with the system C compiler the first time it
+is needed and caches the shared object under ``~/.cache/repro`` keyed by a
+hash of the source, so every later process (including sweep-pool workers)
+just ``dlopen``\\ s it.
+
+The C loop is an instruction-for-instruction transcription of the Python
+loop in ``kernels._bucket_dense_pass_py``: the same pops, the same stale
+re-arms, the same window checks, and the same IEEE-754 double operations in
+the same order (compiled with ``-ffp-contract=off`` so no fused
+multiply-adds change a single bit).  Output labels are therefore
+byte-identical to the Python path — held by ``tests/test_kernels.py``.
+
+No compiler, a failed compile, or ``REPRO_BUCKET_C=0`` all degrade silently
+to the pure-Python loop; nothing in the repo *requires* the fast path.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import pathlib
+import shutil
+import subprocess
+import tempfile
+
+__all__ = ["load_bucket_loop"]
+
+_C_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+typedef int64_t i64;
+
+/* One dense bucket-queue FM pass between classes ci and cj.
+ *
+ * Mutates labels/gains/table/counts/heads/locked in place, writes the move
+ * sequence to moves_out, and returns the number of moves; *best_prefix_out
+ * receives the length of the best strictly-valid prefix.  The caller does
+ * the prefix rollback (it owns the Python-level result contract).
+ */
+i64 bucket_pass(
+    i64 n, i64 offset,
+    double *gains, unsigned char *table, i64 *counts, i64 *heads, i64 maxb,
+    const i64 *indptr, const i64 *nbr, const double *acost,
+    i64 *labels, unsigned char *locked, const unsigned char *member,
+    const double *w, i64 ci, i64 cj,
+    double cw_i, double cw_j,
+    double lo_ok, double hi_ok, double lo_slack, double hi_slack,
+    double tol, i64 limit,
+    i64 *moves_out, i64 *best_prefix_out)
+{
+    i64 nmoves = 0, best_prefix = 0;
+    double best_improvement = 0.0, improvement = 0.0;
+    while (nmoves < limit) {
+        while (maxb >= 0 && counts[maxb] == 0) maxb--;
+        if (maxb < 0) break;
+        unsigned char *row = table + maxb * n;
+        unsigned char *q = memchr(row + heads[maxb], 1, (size_t)(n - heads[maxb]));
+        if (!q) { counts[maxb] = 0; continue; }  /* defensive; unreachable */
+        i64 v = (i64)(q - row);
+        heads[maxb] = v;
+        row[v] = 0;
+        counts[maxb]--;
+        if (locked[v]) continue;      /* stale alarm of a moved vertex */
+        double gv = gains[v];
+        i64 bn = (i64)gv + offset;
+        if (bn != maxb) {
+            /* stale alarm: re-arm at the current gain (heap re-enqueue) */
+            unsigned char *pn = table + bn * n + v;
+            if (!*pn) {
+                *pn = 1;
+                counts[bn]++;
+                if (v < heads[bn]) heads[bn] = v;
+                if (bn > maxb) maxb = bn;
+            }
+            continue;
+        }
+        double wv = w[v];
+        i64 src, dst;
+        double new_src, new_dst;
+        if (labels[v] == ci) {
+            src = ci; dst = cj;
+            new_src = cw_i - wv; new_dst = cw_j + wv;
+        } else {
+            src = cj; dst = ci;
+            new_src = cw_j - wv; new_dst = cw_i + wv;
+        }
+        if (new_src < lo_slack || new_dst > hi_slack) continue;
+        labels[v] = dst;
+        locked[v] = 1;
+        if (src == ci) { cw_i = new_src; cw_j = new_dst; }
+        else           { cw_j = new_src; cw_i = new_dst; }
+        improvement += gv;
+        moves_out[nmoves++] = v;
+        if (improvement > best_improvement + tol
+            && lo_ok <= cw_i && cw_i <= hi_ok
+            && lo_ok <= cw_j && cw_j <= hi_ok) {
+            best_improvement = improvement;
+            best_prefix = nmoves;
+        }
+        for (i64 t = indptr[v]; t < indptr[v + 1]; t++) {
+            i64 u = nbr[t];
+            i64 lu = labels[u];
+            if (lu == ci || lu == cj) {
+                double c2 = 2.0 * acost[t];
+                double gu = (lu == src) ? gains[u] + c2 : gains[u] - c2;
+                gains[u] = gu;
+                if (!locked[u] && member[u]) {
+                    i64 bu = (i64)gu + offset;
+                    unsigned char *pu = table + bu * n + u;
+                    if (!*pu) {
+                        *pu = 1;
+                        counts[bu]++;
+                        if (u < heads[bu]) heads[bu] = u;
+                        if (bu > maxb) maxb = bu;
+                    }
+                }
+            }
+        }
+    }
+    *best_prefix_out = best_prefix;
+    return nmoves;
+}
+"""
+
+_I64P = ctypes.POINTER(ctypes.c_longlong)
+_F64P = ctypes.POINTER(ctypes.c_double)
+_U8P = ctypes.POINTER(ctypes.c_ubyte)
+
+_ARGTYPES = [
+    ctypes.c_longlong, ctypes.c_longlong,                     # n, offset
+    _F64P, _U8P, _I64P, _I64P, ctypes.c_longlong,             # gains, table, counts, heads, maxb
+    _I64P, _I64P, _F64P,                                      # indptr, nbr, acost
+    _I64P, _U8P, _U8P,                                        # labels, locked, member
+    _F64P, ctypes.c_longlong, ctypes.c_longlong,              # w, ci, cj
+    ctypes.c_double, ctypes.c_double,                         # cw_i, cw_j
+    ctypes.c_double, ctypes.c_double,                         # lo_ok, hi_ok
+    ctypes.c_double, ctypes.c_double,                         # lo_slack, hi_slack
+    ctypes.c_double, ctypes.c_longlong,                       # tol, limit
+    _I64P, _I64P,                                             # moves_out, best_prefix_out
+]
+
+
+def _cache_dir() -> pathlib.Path:
+    root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return pathlib.Path(root) / "repro"
+
+
+def _enabled() -> bool:
+    return os.environ.get("REPRO_BUCKET_C", "1").strip().lower() not in (
+        "0", "false", "no", "off")
+
+
+def load_bucket_loop():
+    """Compile (once, cached) and load the C pass; ``None`` if unavailable."""
+    if not _enabled():
+        return None
+    cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if cc is None:
+        return None
+    tag = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    sofile = _cache_dir() / f"bucketc-{tag}.so"
+    if not sofile.exists():
+        try:
+            sofile.parent.mkdir(parents=True, exist_ok=True)
+            with tempfile.TemporaryDirectory(dir=sofile.parent) as td:
+                csrc = pathlib.Path(td) / "bucket.c"
+                csrc.write_text(_C_SOURCE)
+                tmp = pathlib.Path(td) / "bucket.so"
+                # -ffp-contract=off: no FMA contraction — double ops must
+                # match the Python loop bit-for-bit for byte-identity
+                subprocess.run(
+                    [cc, "-std=c11", "-O2", "-ffp-contract=off", "-fPIC",
+                     "-shared", str(csrc), "-o", str(tmp)],
+                    check=True, capture_output=True)
+                # atomic publish: concurrent first-time builders agree
+                os.replace(tmp, sofile)
+        except (OSError, subprocess.SubprocessError):
+            return None
+    try:
+        lib = ctypes.CDLL(str(sofile))
+    except OSError:
+        return None
+    fn = lib.bucket_pass
+    fn.restype = ctypes.c_longlong
+    fn.argtypes = _ARGTYPES
+    return fn

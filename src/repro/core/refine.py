@@ -136,6 +136,7 @@ def kway_refine(
     rounds: int = 2,
     max_pairs_per_round: int | None = None,
     incremental_pair_costs: bool = True,
+    kernel: str | None = None,
 ) -> Coloring:
     """Refine a strictly balanced k-coloring without leaving the window.
 
@@ -150,7 +151,9 @@ def kway_refine(
     falls back to a full ``_class_pair_costs`` scan every round (the
     pre-kernel behavior, kept for equivalence tests).  Ties in the pair
     order break on the ``(i, j)`` ids, matching the full scan's ascending
-    insertion order, so both modes visit pairs identically.
+    insertion order, so both modes visit pairs identically.  ``kernel``
+    names a registry kernel for every pass (default: the module default,
+    see :mod:`repro.core.kernels`).
     """
     k = coloring.k
     w = np.asarray(weights, dtype=np.float64)
@@ -176,7 +179,7 @@ def kway_refine(
         changed = False
         for (i, j), _cost in pairs:
             kept, improved = run_pair_kernel(
-                g, labels, w, i, j, lo_bound, hi_bound, csr=csr
+                g, labels, w, i, j, lo_bound, hi_bound, kernel=kernel, csr=csr
             )
             if improved:
                 changed = True

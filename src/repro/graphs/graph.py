@@ -46,7 +46,7 @@ class Graph:
 
     __slots__ = (
         "n", "m", "edges", "costs", "indptr", "nbr", "eid", "coords", "_arc_costs",
-        "_struct_hash",
+        "_struct_hash", "_tau_max", "_costs_integral",
     )
 
     def __init__(self, n, edges, costs=None, coords=None, _validate: bool = True):
@@ -86,6 +86,8 @@ class Graph:
         self.coords = coords
         self._arc_costs = None
         self._struct_hash = None
+        self._tau_max = None
+        self._costs_integral = None
         self._build_csr()
 
     # ------------------------------------------------------------------
@@ -202,9 +204,32 @@ class Graph:
         return tau
 
     def max_cost_degree(self) -> float:
-        """``Δ_c = max_v c(δ(v))`` (Theorem 4's degree term)."""
-        tau = self.cost_degree()
-        return float(np.max(tau)) if tau.size else 0.0
+        """``Δ_c = max_v c(δ(v))`` (Theorem 4's degree term; lazy, cached).
+
+        The graph is immutable, so the scalar is computed once and reused —
+        the bucket-queue FM kernel reads it on every pass to size its gain
+        range.
+        """
+        t = self._tau_max
+        if t is None:
+            tau = self.cost_degree()
+            t = float(np.max(tau)) if tau.size else 0.0
+            self._tau_max = t
+        return t
+
+    def costs_integral(self) -> bool:
+        """Whether every edge cost is an exact integer (lazy, cached).
+
+        Integer costs make FM gains exact floats (sums of integers below
+        ``2**53`` are associative), which is the precondition for the
+        bucket-queue kernel's integer gain buckets and for the byte-identity
+        guarantee across kernels.
+        """
+        ok = self._costs_integral
+        if ok is None:
+            ok = bool(self.m == 0 or np.all(self.costs == np.floor(self.costs)))
+            self._costs_integral = ok
+        return ok
 
     def cost_norm(self, p: float) -> float:
         """``‖c‖_p`` over all edges."""

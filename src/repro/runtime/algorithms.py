@@ -19,14 +19,29 @@ from ..baselines import (
     recursive_bisection,
 )
 from ..core import DecompositionParams, min_max_partition
+from ..core.kernels import REGISTRY as KERNEL_REGISTRY
+from ..core.kernels import default_kernel
 from ..separators import make_oracle as _registry_make_oracle
 from .instances import Instance
 from .scenario import Scenario
 
-__all__ = ["ALGORITHMS", "ORACLE_ALGORITHMS", "make_oracle", "resolved_oracle_name", "run_algorithm"]
+__all__ = [
+    "ALGORITHMS",
+    "KERNEL_ALGORITHMS",
+    "ORACLE_ALGORITHMS",
+    "make_oracle",
+    "resolved_kernel_name",
+    "resolved_oracle_name",
+    "run_algorithm",
+]
 
 #: algorithms that consume a splitting oracle (and thus record its name)
 ORACLE_ALGORITHMS = frozenset({"minmax", "recursive-bisection", "kst"})
+
+#: algorithms whose refinement runs FM pair passes (and thus record the
+#: resolved kernel name) — minmax's final refine, the multilevel baseline's
+#: uncoarsening refinement, and the streaming repairer
+KERNEL_ALGORITHMS = frozenset({"minmax", "multilevel", "stream"})
 
 
 def make_oracle(name: str, seed: int = 0):
@@ -58,6 +73,29 @@ def resolved_oracle_name(scenario: Scenario) -> str | None:
     if scenario.algorithm not in ORACLE_ALGORITHMS:
         return None
     return _oracle_for(scenario).name
+
+
+def resolved_kernel_name(scenario: Scenario) -> str | None:
+    """The FM-kernel registry name a scenario's refinement resolves to, or
+    ``None`` for algorithms that never run pair passes.
+
+    A ``kernel`` param wins; otherwise the process default applies — the
+    :data:`~repro.core.kernels.DEFAULT_KERNEL` constant unless the process
+    pinned ``REPRO_KERNEL`` at startup (as ``repro serve --kernel`` does for
+    its shards).  Either way the name is fixed before any scenario runs, so
+    it is safe to record in the deterministic result payload.
+    """
+    if scenario.algorithm not in KERNEL_ALGORITHMS:
+        return None
+    name = scenario.param_dict.get("kernel")
+    if name is None:
+        return default_kernel()
+    name = str(name)
+    if name not in KERNEL_REGISTRY:
+        raise ValueError(
+            f"unknown FM kernel {name!r}; known: {', '.join(sorted(KERNEL_REGISTRY))}"
+        )
+    return name
 
 
 def _minmax(inst: Instance, s: Scenario):

@@ -19,10 +19,12 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 
 from ..analysis import evaluate_coloring, theorem5_rhs
+from ..core.kernels import use_kernel
 from ..separators.solve import counters_snapshot
-from .algorithms import resolved_oracle_name, run_algorithm
+from .algorithms import resolved_kernel_name, resolved_oracle_name, run_algorithm
 from .instances import Instance, InstanceCache
 from .results import ScenarioResult
 from .scenario import Scenario, ScenarioGrid
@@ -79,6 +81,19 @@ def _solver_delta(before: dict, after: dict) -> dict:
     return {k: int(after[k]) - int(before.get(k, 0)) for k in after}
 
 
+def _kernel_context(scenario: Scenario):
+    """Scoped default-kernel switch for scenarios carrying a ``kernel`` param.
+
+    Every refinement layer reads the process default through
+    :func:`repro.core.kernels.run_pair_kernel`, so one scoped switch routes
+    the whole scenario — minmax's final refine, the multilevel baseline, and
+    the streaming repairer alike — without threading the name through every
+    call chain.
+    """
+    name = scenario.param_dict.get("kernel")
+    return use_kernel(str(name)) if name is not None else nullcontext()
+
+
 def run_scenario(scenario: Scenario, cache: InstanceCache | None = None) -> ScenarioResult:
     """Build the instance, run the algorithm, evaluate, and time one cell."""
     if cache is not None:
@@ -95,8 +110,12 @@ def run_scenario(scenario: Scenario, cache: InstanceCache | None = None) -> Scen
         from ..stream import run_stream_scenario
 
         t0 = time.perf_counter()
-        metrics = run_stream_scenario(inst, scenario)
+        with _kernel_context(scenario):
+            metrics = run_stream_scenario(inst, scenario)
         wall = time.perf_counter() - t0
+        kernel_name = resolved_kernel_name(scenario)
+        if kernel_name is not None:
+            metrics["kernel"] = kernel_name
         return ScenarioResult(
             scenario=scenario,
             instance=_instance_stats(inst),
@@ -105,7 +124,8 @@ def run_scenario(scenario: Scenario, cache: InstanceCache | None = None) -> Scen
             solver_stats=_solver_delta(counters_before, counters_snapshot()),
         )
     t0 = time.perf_counter()
-    coloring = run_algorithm(inst, scenario)
+    with _kernel_context(scenario):
+        coloring = run_algorithm(inst, scenario)
     wall = time.perf_counter() - t0
     g = inst.graph
     m = evaluate_coloring(g, coloring, inst.weights)
@@ -123,6 +143,10 @@ def run_scenario(scenario: Scenario, cache: InstanceCache | None = None) -> Scen
         # the resolved registry name is a pure function of the scenario, so
         # it belongs in the deterministic record (unlike the solver counters)
         metrics["oracle"] = oracle_name
+    kernel_name = resolved_kernel_name(scenario)
+    if kernel_name is not None:
+        # likewise fixed before the run starts (param or process default)
+        metrics["kernel"] = kernel_name
     return ScenarioResult(
         scenario=scenario,
         instance=_instance_stats(inst),

@@ -1,28 +1,42 @@
-"""Equivalence and tie-breaking tests for the FM move kernels.
+"""Equivalence, tie-breaking, and registry tests for the FM move kernels.
 
-The incremental gain-table kernel must make byte-identical decisions to the
-historical recompute-on-pop loop (kept as ``reference``): same moves, same
-order, same kept prefix.  Instances here use integer-valued edge costs so
-every gain is exact in both kernels and equality is literal, including
-zero-cost edges, ``movable`` masks, uncolored vertices, and singleton
-classes.
+Three kernels share one decision contract: the array-native bucket-queue
+kernel (the default), the incremental gain-table kernel, and the historical
+recompute-on-pop loop (``reference``).  On integer-valued edge costs every
+gain is exact in all three, so equality is literal — same moves, same order,
+same kept prefix — including zero-cost edges, ``movable`` masks, uncolored
+vertices, singleton classes, negative-gain-only instances, and every
+``max_moves`` truncation point.  The bucket kernel's compiled loop and its
+pure-Python twin are both held to that contract (the C loop is exercised
+wherever a compiler exists, and explicitly disabled via monkeypatching in
+the forced-Python tests).
 """
 
 import numpy as np
 import pytest
 
+import repro.core.kernels as K
 from repro.core import Coloring, kway_refine
 from repro.core.kernels import (
+    DEFAULT_KERNEL,
     KERNELS,
+    REGISTRY,
+    KernelState,
+    PairKernel,
     default_kernel,
     fm_pair_pass,
+    fm_pair_pass_bucket,
     fm_pair_pass_reference,
     kernel_override,
+    make_kernel,
     run_pair_kernel,
     set_default_kernel,
+    use_kernel,
 )
 from repro.graphs import grid_graph, triangulated_mesh
 from repro.graphs.graph import Graph
+
+ALL_KERNELS = (fm_pair_pass_reference, fm_pair_pass, fm_pair_pass_bucket)
 
 
 def random_instance(rng, *, with_uncolored=False, singleton=False):
@@ -37,7 +51,7 @@ def random_instance(rng, *, with_uncolored=False, singleton=False):
     hi = np.maximum(uu[keep], vv[keep])
     keys = np.unique(lo * n + hi)[:want]
     edges = np.column_stack([keys // n, keys % n])
-    # integer costs, zeros included: gains stay exact in both kernels
+    # integer costs, zeros included: gains stay exact in every kernel
     costs = rng.integers(0, 7, size=edges.shape[0]).astype(np.float64)
     g = Graph(n, edges, costs)
     w = rng.integers(1, 6, size=n).astype(np.float64)
@@ -52,12 +66,21 @@ def random_instance(rng, *, with_uncolored=False, singleton=False):
     return g, w, k, labels
 
 
-def both_kernels(g, labels, w, i, j, lo, hi, **kw):
-    la = labels.copy()
-    lb = labels.copy()
-    ra = fm_pair_pass_reference(g, la, w, i, j, lo, hi, **kw)
-    rb = fm_pair_pass(g, lb, w, i, j, lo, hi, **kw)
-    return (la, ra), (lb, rb)
+def all_kernels(g, labels, w, i, j, lo, hi, **kw):
+    """Run every kernel on a private copy of ``labels``."""
+    out = []
+    for fn in ALL_KERNELS:
+        lab = labels.copy()
+        res = fn(g, lab, w, i, j, lo, hi, **kw)
+        out.append((lab, res))
+    return out
+
+
+def assert_all_equal(runs):
+    (la, ra), rest = runs[0], runs[1:]
+    for lb, rb in rest:
+        assert np.array_equal(la, lb)
+        assert ra == rb
 
 
 class TestPairEquivalence:
@@ -76,15 +99,25 @@ class TestPairEquivalence:
         if trial % 2 == 0:
             movable = rng.random(g.n) < 0.6
         i, j = 0, 1
-        (la, ra), (lb, rb) = both_kernels(
-            g, labels, w, i, j, avg - span, avg + span, movable=movable
+        assert_all_equal(
+            all_kernels(g, labels, w, i, j, avg - span, avg + span, movable=movable)
         )
-        assert np.array_equal(la, lb)
-        assert ra == rb
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_random_instances_python_bucket_loop(self, trial, monkeypatch):
+        """The pure-Python bucket loop obeys the same contract as the
+        compiled one (and as both heap kernels)."""
+        monkeypatch.setattr(K, "_bucket_c", None)
+        rng = np.random.default_rng(900 + trial)
+        g, w, k, labels = random_instance(rng, with_uncolored=trial % 2 == 0)
+        total = float(w[labels >= 0].sum())
+        avg = total / k
+        span = float(w.max()) * (1.0 - 1.0 / k)
+        assert_all_equal(all_kernels(g, labels, w, 0, 1, avg - span, avg + span))
 
     @pytest.mark.parametrize("trial", range(6))
     def test_sparse_halo_restricted_path(self, trial):
-        """Sparse ``movable`` masks (members*8 <= n) take the kernel's
+        """Sparse ``movable`` masks (members*8 <= n) take the kernels'
         restricted path; it must match the reference exactly too."""
         from repro.graphs.components import bfs_levels
 
@@ -102,59 +135,128 @@ class TestPairEquivalence:
         total = float(w.sum())
         avg = total / k
         span = float(w.max()) * (1.0 - 1.0 / k)
-        (la, ra), (lb, rb) = both_kernels(
-            g, labels, w, 0, 1, avg - span, avg + span, movable=movable
+        assert_all_equal(
+            all_kernels(g, labels, w, 0, 1, avg - span, avg + span, movable=movable)
         )
-        assert np.array_equal(la, lb)
-        assert ra == rb
 
     @pytest.mark.parametrize("max_moves", [0, 1, 2, 3, 7, None])
     def test_truncation_determinism(self, max_moves):
-        """Both kernels agree at every ``max_moves`` truncation point."""
+        """All kernels agree at every ``max_moves`` truncation point."""
         rng = np.random.default_rng(7)
         g, w, k, labels = random_instance(rng)
         total = float(w.sum())
         avg = total / k
         span = float(w.max()) * (1.0 - 1.0 / k)
-        (la, ra), (lb, rb) = both_kernels(
+        runs = all_kernels(
             g, labels, w, 0, 1, avg - span, avg + span, max_moves=max_moves
         )
-        assert np.array_equal(la, lb)
-        assert ra == rb
+        assert_all_equal(runs)
         if max_moves == 0:
-            assert ra == ([], False)
-            assert np.array_equal(la, labels)
+            assert runs[0][1] == ([], False)
+            assert np.array_equal(runs[0][0], labels)
 
     def test_zero_cost_edges_only(self):
-        """All-zero costs: no gain anywhere, both kernels keep nothing."""
+        """All-zero costs: no gain anywhere, every kernel keeps nothing."""
         g = grid_graph(5, 5)
         g = g.with_costs(np.zeros(g.m))
         labels = (np.arange(g.n) % 2).astype(np.int64)
         w = np.ones(g.n)
-        (la, ra), (lb, rb) = both_kernels(g, labels, w, 0, 1, 0.0, 100.0)
-        assert ra == rb == ([], False)
-        assert np.array_equal(la, lb)
+        runs = all_kernels(g, labels, w, 0, 1, 0.0, 100.0)
+        assert_all_equal(runs)
+        assert runs[0][1] == ([], False)
+
+    def test_negative_gains_only(self):
+        """A fully interior pair (every gain negative): the kernels still
+        explore hill-descending moves identically and keep none of them."""
+        # two cliques joined by nothing: moving any vertex only adds cut
+        edges = [(a, b) for a in range(4) for b in range(a + 1, 4)]
+        edges += [(a + 4, b + 4) for a in range(4) for b in range(a + 1, 4)]
+        g = Graph(8, np.asarray(edges), np.full(len(edges), 2.0))
+        labels = np.asarray([0] * 4 + [1] * 4, dtype=np.int64)
+        w = np.ones(8)
+        runs = all_kernels(g, labels, w, 0, 1, 0.0, 100.0)
+        assert_all_equal(runs)
+        kept, improved = runs[0][1]
+        assert kept == [] and not improved
+        # bucket coverage: every initial gain sits in a negative bucket
+        assert np.all(labels == runs[0][0])
 
     def test_empty_pair(self):
         g = grid_graph(4, 4)
         labels = np.full(g.n, 2, dtype=np.int64)
-        out = fm_pair_pass(g, labels, np.ones(g.n), 0, 1, 0.0, 100.0)
-        assert out == ([], False)
+        for fn in ALL_KERNELS:
+            out = fn(g, labels.copy(), np.ones(g.n), 0, 1, 0.0, 100.0)
+            assert out == ([], False)
 
     def test_tie_breaks_on_vertex_id(self):
-        """Equal gains pop in ascending vertex order in both kernels."""
+        """Equal gains pop in ascending vertex order in every kernel."""
         # v0..v3 in two classes; the two cut edges have equal cost, so v0
         # and v1 tie at gain +1 and v0 (the smaller id) must move first.
         edges = [(0, 2), (1, 3)]
         g = Graph(4, np.asarray(edges), np.ones(2))
         labels = np.asarray([0, 0, 1, 1], dtype=np.int64)
         w = np.ones(4)
-        for fn in (fm_pair_pass_reference, fm_pair_pass):
+        for fn in ALL_KERNELS:
             lab = labels.copy()
             kept, improved = fn(g, lab, w, 0, 1, 0.0, 10.0, max_moves=1)
             assert kept == [0]
             assert improved
             assert lab.tolist() == [1, 0, 1, 1]
+
+    def test_non_integral_costs_route_to_gain_table(self):
+        """Float costs fall back to the incremental kernel (identical
+        labels), so ``bucket`` is safe as the universal default."""
+        rng = np.random.default_rng(42)
+        g, w, k, labels = random_instance(rng)
+        g = g.with_costs(rng.random(g.m) * 3.0)
+        assert not g.costs_integral()
+        total = float(w[labels >= 0].sum())
+        avg = total / k
+        span = float(w.max()) * (1.0 - 1.0 / k)
+        la, lb = labels.copy(), labels.copy()
+        ra = fm_pair_pass_bucket(g, la, w, 0, 1, avg - span, avg + span)
+        rb = fm_pair_pass(g, lb, w, 0, 1, avg - span, avg + span)
+        assert np.array_equal(la, lb)
+        assert ra == rb
+
+
+class TestKernelState:
+    def test_build_invariants(self):
+        rng = np.random.default_rng(3)
+        g, w, k, labels = random_instance(rng)
+        in_pair = (labels == 0) | (labels == 1)
+        member_mask = in_pair.copy()
+        members = np.flatnonzero(member_mask).astype(np.int64)
+        offset = int(g.max_cost_degree())
+        state = KernelState.build(g, labels, in_pair, member_mask, members, offset)
+        assert (state.n, state.offset, state.nbuckets) == (g.n, offset, 2 * offset + 1)
+        # every member holds exactly one entry, in the bucket its gain names
+        assert np.array_equal(state.active(), members)
+        assert state.counts.sum() == members.size
+        gains = K._initial_pair_gains(g, labels, in_pair)
+        assert np.array_equal(state.gains, gains)
+        view = np.frombuffer(state.table, dtype=np.uint8).reshape(
+            state.nbuckets, state.n
+        )
+        buckets = gains[members].astype(np.int64) + offset
+        assert np.all(view[buckets, members] == 1)
+        assert view.sum() == members.size
+        assert state.maxb == int(buckets.max())
+        # heads are valid lower bounds: no set byte below a head
+        for b in range(state.nbuckets):
+            h = int(state.heads[b])
+            assert not view[b, :h].any()
+        assert not state.locked.any()
+        assert np.array_equal(state.member, member_mask)
+
+    def test_empty_members(self):
+        g = grid_graph(3, 3)
+        labels = np.full(g.n, 2, dtype=np.int64)
+        in_pair = (labels == 0) | (labels == 1)
+        members = np.flatnonzero(in_pair).astype(np.int64)
+        state = KernelState.build(g, labels, in_pair, in_pair, members, 2)
+        assert state.maxb == -1
+        assert state.active().size == 0
 
 
 class TestWindowSlack:
@@ -176,7 +278,7 @@ class TestWindowSlack:
         labels = np.asarray([0, 1, 1, 0, 0, 1], dtype=np.int64)
         movable = np.asarray([False, True, True, True, True, False])
         lo, hi = 5.0, 16.0
-        for fn in (fm_pair_pass_reference, fm_pair_pass):
+        for fn in ALL_KERNELS:
             lab = labels.copy()
             kept, improved = fn(g, lab, w, 0, 1, lo, hi, movable=movable)
             assert improved
@@ -200,7 +302,7 @@ class TestKwayIncrementalPairCosts:
         slow = kway_refine(g, chi, w, rounds=3, incremental_pair_costs=False)
         assert np.array_equal(fast.labels, slow.labels)
 
-    def test_mesh_reference_stack_vs_incremental_stack(self):
+    def test_mesh_reference_stack_vs_bucket_stack(self):
         """Old stack (reference kernel + rescan) == new stack, end to end."""
         g = triangulated_mesh(9, 9)
         w = np.ones(g.n)
@@ -209,19 +311,65 @@ class TestKwayIncrementalPairCosts:
         np.random.default_rng(5).shuffle(labels)
         chi = Coloring(labels, k)
         new = kway_refine(g, chi, w, rounds=4)
-        with kernel_override("reference"):
-            old = kway_refine(g, chi, w, rounds=4, incremental_pair_costs=False)
+        old = kway_refine(
+            g, chi, w, rounds=4,
+            incremental_pair_costs=False, kernel="reference",
+        )
         assert np.array_equal(new.labels, old.labels)
+
+    def test_kernel_param_threads_through(self):
+        """``kway_refine(kernel=...)`` pins every pass regardless of the
+        process default."""
+        g = triangulated_mesh(8, 8)
+        w = np.ones(g.n)
+        k = 3
+        labels = np.repeat(np.arange(k), g.n // k + 1)[: g.n].astype(np.int64)
+        np.random.default_rng(9).shuffle(labels)
+        chi = Coloring(labels, k)
+        with use_kernel("reference"):
+            pinned = kway_refine(g, chi, w, rounds=2, kernel="bucket")
+        default = kway_refine(g, chi, w, rounds=2)
+        assert np.array_equal(pinned.labels, default.labels)
 
 
 class TestKernelRegistry:
-    def test_default_and_override(self):
-        assert default_kernel() == "incremental"
-        with kernel_override("reference"):
-            assert default_kernel() == "reference"
-        assert default_kernel() == "incremental"
+    def test_registry_names(self):
+        assert set(REGISTRY) == {"bucket", "incremental", "reference"}
+        assert DEFAULT_KERNEL == "bucket"
 
-    def test_unknown_kernel_rejected(self):
+    def test_make_kernel_builds_named_kernels(self):
+        for name in REGISTRY:
+            kernel = make_kernel(name)
+            assert isinstance(kernel, PairKernel)
+            assert kernel.name == name
+            assert repr(kernel) == f"{type(kernel).__name__}()"
+
+    def test_make_kernel_unknown_is_value_error(self):
+        with pytest.raises(ValueError, match="unknown FM kernel 'nope'"):
+            make_kernel("nope")
+
+    def test_kernel_objects_are_callable(self):
+        g = grid_graph(4, 4)
+        labels = (np.arange(g.n) % 2).astype(np.int64)
+        w = np.ones(g.n)
+        runs = []
+        for name in sorted(REGISTRY):
+            lab = labels.copy()
+            runs.append((lab, make_kernel(name)(g, lab, w, 0, 1, 0.0, 100.0)))
+        assert_all_equal(runs)
+
+    def test_default_and_override(self):
+        assert default_kernel() == "bucket"
+        with use_kernel("reference"):
+            assert default_kernel() == "reference"
+        assert default_kernel() == "bucket"
+
+    def test_use_kernel_unknown_is_value_error(self):
+        with pytest.raises(ValueError, match="unknown FM kernel 'nope'"):
+            with use_kernel("nope"):
+                pass  # pragma: no cover
+
+    def test_unknown_kernel_rejected_legacy_key_error(self):
         with pytest.raises(KeyError):
             set_default_kernel("nope")
         g = grid_graph(3, 3)
@@ -231,20 +379,87 @@ class TestKernelRegistry:
                 kernel="nope",
             )
 
-    def test_registry_names(self):
-        assert set(KERNELS) == {"incremental", "reference"}
+    def test_kernel_override_shim_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="kernel_override"):
+            with kernel_override("reference"):
+                assert default_kernel() == "reference"
+        assert default_kernel() == "bucket"
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError):
+                with kernel_override("nope"):
+                    pass  # pragma: no cover
+
+    def test_kernels_dict_shim_warns(self):
+        with pytest.warns(DeprecationWarning, match="KERNELS is deprecated"):
+            fn = KERNELS["incremental"]
+        assert fn is fm_pair_pass
+        assert set(KERNELS) == {"bucket", "incremental", "reference"}
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "reference")
+        assert K._initial_default() == "reference"
+        monkeypatch.setenv("REPRO_KERNEL", "bogus")
+        with pytest.warns(RuntimeWarning, match="REPRO_KERNEL"):
+            assert K._initial_default() == DEFAULT_KERNEL
+        monkeypatch.delenv("REPRO_KERNEL")
+        assert K._initial_default() == DEFAULT_KERNEL
+
+
+class TestSweepRecordsKernel:
+    def test_records_name_their_kernel(self):
+        from repro.runtime import Scenario, run_scenario
+        from repro.runtime.algorithms import resolved_kernel_name
+
+        s = Scenario(family="grid", size=8, k=2, algorithm="minmax")
+        assert resolved_kernel_name(s) == "bucket"
+        r = run_scenario(s)
+        assert r.metrics["kernel"] == "bucket"
+        s2 = Scenario(
+            family="grid", size=8, k=2, algorithm="minmax",
+            params=(("kernel", "reference"),),
+        )
+        assert resolved_kernel_name(s2) == "reference"
+        r2 = run_scenario(s2)
+        assert r2.metrics["kernel"] == "reference"
+        # byte-identical partitions, only the recorded name differs
+        assert r.metrics["max_boundary"] == r2.metrics["max_boundary"]
+        s3 = Scenario(family="grid", size=8, k=2, algorithm="greedy")
+        assert resolved_kernel_name(s3) is None
+        assert "kernel" not in run_scenario(s3).metrics
+
+    def test_unknown_kernel_param_rejected(self):
+        from repro.runtime import Scenario
+        from repro.runtime.algorithms import resolved_kernel_name
+
+        s = Scenario(
+            family="grid", size=8, k=2, algorithm="minmax",
+            params=(("kernel", "nope"),),
+        )
+        with pytest.raises(ValueError, match="unknown FM kernel 'nope'"):
+            resolved_kernel_name(s)
+
+    def test_cli_kernel_axis_validated(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unknown kernel 'nope'"):
+            main(["sweep", "--family", "grid", "--size", "8", "--k", "2",
+                  "--kernel", "nope"])
 
 
 class TestGoldenSmokeGrid:
-    def test_smoke_grid_byte_identical_across_kernels(self):
-        """The CI smoke grid solved with both kernels yields identical
-        records — the golden gate for swapping the default kernel."""
+    @pytest.mark.parametrize("ablation", ["incremental", "reference"])
+    def test_smoke_grid_byte_identical_across_kernels(self, ablation):
+        """The CI smoke grid solved with every kernel yields identical
+        records — the golden gate for swapping the default kernel.  Only
+        ``metrics["kernel"]`` (the honest name of what ran) may differ."""
         from repro.cli import SWEEP_PRESETS
         from repro.runtime import ScenarioGrid, results_to_dict, run_sweep
 
         grid = ScenarioGrid(**SWEEP_PRESETS["smoke"])
         scenarios = grid.scenarios()
         new = results_to_dict(run_sweep(scenarios, workers=1))
-        with kernel_override("reference"):
+        with use_kernel(ablation):
             old = results_to_dict(run_sweep(scenarios, workers=1))
+        for rec in (*new["results"], *old["results"]):
+            rec["metrics"].pop("kernel", None)
         assert new == old

@@ -321,6 +321,60 @@ class TestRepair:
         assert restore_window(g, labels, w, 4)
         assert np.array_equal(labels, res.labels)
 
+    def test_boundary_gain_table_matches_legacy_scan(self):
+        """The incremental mover table reproduces ``_boundary_movers``
+        exactly on integer costs — including after incremental updates."""
+        from repro.stream.repair import BoundaryGainTable, _boundary_movers
+
+        rng = np.random.default_rng(31)
+        g = grid_graph(9, 9)
+        g = g.with_costs(rng.integers(0, 5, g.m).astype(np.float64))
+        k = 4
+        labels = rng.integers(-1, k, g.n).astype(np.int64)
+        table = BoundaryGainTable(g, labels, k)
+        for cls in range(k):
+            assert table.movers(labels, cls) == _boundary_movers(g, labels, cls)
+        for _ in range(12):
+            colored = np.flatnonzero(labels >= 0)
+            v = int(rng.choice(colored))
+            old, new = int(labels[v]), int(rng.integers(0, k))
+            if old == new:
+                continue
+            labels[v] = new
+            table.apply_move(v, old, new)
+        for cls in range(k):
+            assert table.movers(labels, cls) == _boundary_movers(g, labels, cls)
+
+    def test_restore_window_float_costs_path(self):
+        """Non-integral costs route around the mover table and still repair."""
+        g = grid_graph(8, 8)
+        g = g.with_costs(np.random.default_rng(2).random(g.m) + 0.25)
+        assert not g.costs_integral()
+        w = np.ones(g.n)
+        res = min_max_partition(g, 4, weights=w)
+        labels = res.labels.copy()
+        w2 = w.copy()
+        w2[labels == 1] *= 1.6
+        assert restore_window(g, labels, w2, 4)
+        lo, hi = strict_window(w2, 4)
+        cw = np.bincount(labels, weights=w2, minlength=4)
+        assert np.all(cw <= hi + 1e-9) and np.all(cw >= lo - 1e-9)
+
+    def test_restore_window_underweight_pull(self):
+        """The vectorized pull-in branch refills an underweight class."""
+        g = grid_graph(8, 8)
+        w = np.ones(g.n)
+        res = min_max_partition(g, 4, weights=w)
+        labels = res.labels.copy()
+        w2 = w.copy()
+        w2[labels == 2] *= 0.9  # class 2 falls just under the window
+        lo0, _ = strict_window(w2, 4)
+        assert np.bincount(labels, weights=w2, minlength=4)[2] < lo0 - 1e-9
+        assert restore_window(g, labels, w2, 4)
+        lo, hi = strict_window(w2, 4)
+        cw = np.bincount(labels, weights=w2, minlength=4)
+        assert np.all(cw <= hi + 1e-9) and np.all(cw >= lo - 1e-9)
+
     def test_local_repair_preserves_strict_balance(self):
         g = grid_graph(10, 10)
         w = zipf_weights(g, rng=1)
