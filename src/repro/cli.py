@@ -135,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--oracle-cache-size", type=int,
                     help="max entries in each shard's eigensolver cache "
                     "(default 256)")
+    sv.add_argument("--metrics-port", type=int,
+                    help="serve Prometheus text format on GET /metrics at "
+                    "this port (0 = ephemeral; scrapes never affect results)")
+    sv.add_argument("--log-json", action="store_true",
+                    help="write structured JSON-lines events (slow requests, "
+                    "session loss/recovery, shard respawns) to stderr")
+    sv.add_argument("--slow-ms", type=float,
+                    help="emit a request.slow event for requests taking "
+                    "longer than this many milliseconds")
 
     pf = sub.add_parser("profile",
                         help="run a scenario grid under cProfile and print the "
@@ -354,6 +363,8 @@ def _run_sweep(args) -> int:
     if args.output:
         write_results(args.output, results, grid=grid, timing=args.timing)
         print(f"wrote {args.output}", file=sys.stderr)
+    if args.timing:
+        _show_span_rollup(results)
     if args.table or not args.output:
         results_table(results).show()
     if args.baseline:
@@ -362,6 +373,35 @@ def _run_sweep(args) -> int:
         if not report.ok:
             return 1
     return 0
+
+
+def _show_span_rollup(results) -> None:
+    """Aggregate per-scenario span deltas into one phase-timing table.
+
+    Shown with ``sweep --timing`` when telemetry is on: where the sweep's
+    wall-clock went, by hierarchical phase path.  Share is relative to the
+    total of the top-level spans (children are nested inside them, so the
+    top-level sum is the reconciled whole).
+    """
+    totals: dict[str, list] = {}
+    for r in results:
+        for path, entry in (r.span_stats or {}).items():
+            t = totals.setdefault(path, [0, 0.0])
+            t[0] += entry["calls"]
+            t[1] += entry["seconds"]
+    if not totals:
+        return
+    top_level_s = sum(t[1] for path, t in totals.items() if "/" not in path)
+    table = Table(
+        "span rollup — wall-clock by phase",
+        ["span", "calls", "seconds", "share %"],
+        note="hierarchical paths; children are included in their parents",
+    )
+    for path in sorted(totals):
+        calls, seconds = totals[path]
+        share = 100.0 * seconds / top_level_s if top_level_s > 0 else 0.0
+        table.add(path, calls, round(seconds, 3), f"{share:.1f}")
+    table.show()
 
 
 def _run_profile(args) -> int:
@@ -430,6 +470,10 @@ def _run_serve(args) -> int:
         from .core.kernels import set_default_kernel
 
         set_default_kernel(args.kernel)
+    if args.log_json:
+        from .obs import events
+
+        events.configure(sys.stderr)
     try:
         service = DecompositionService(
             shards=args.shards,
@@ -443,6 +487,7 @@ def _run_serve(args) -> int:
             session_ttl=args.session_ttl,
             journal_dir=args.journal_dir,
             recovery=not args.no_recovery,
+            slow_request_s=args.slow_ms / 1000.0 if args.slow_ms is not None else None,
         )
     except (JournalError, OSError) as exc:
         # an unusable --journal-dir (unwritable, or owned by another
@@ -453,6 +498,10 @@ def _run_serve(args) -> int:
         print(f"serve: listening on {host}:{port} "
               f"(shards={args.shards}, cache={args.cache_size}, "
               f"batch={args.max_batch_size}/{args.max_wait_ms}ms)",
+              file=sys.stderr, flush=True)
+
+    def _metrics_ready(host, port):
+        print(f"serve: metrics on http://{host}:{port}/metrics",
               file=sys.stderr, flush=True)
 
     def _on_close(stats):
@@ -468,7 +517,9 @@ def _run_serve(args) -> int:
 
     try:
         asyncio.run(serve(service, host=args.host, port=args.port, ready=_ready,
-                          idle_timeout=args.idle_timeout, on_close=_on_close))
+                          idle_timeout=args.idle_timeout, on_close=_on_close,
+                          metrics_port=args.metrics_port,
+                          metrics_ready=_metrics_ready))
     except KeyboardInterrupt:
         print("serve: interrupted", file=sys.stderr)
     return 0
@@ -510,6 +561,7 @@ def _run_loadgen(args) -> int:
         print(f"  pass {p['pass']}: {p['requests']} requests in {p['wall_s']}s "
               f"= {p['throughput_rps']} req/s "
               f"(p50 {lat.get('p50_ms')}ms, p99 {lat.get('p99_ms')}ms)", file=sys.stderr)
+    _print_server_latency(report.get("server_latency"))
     if args.output:
         out_path = pathlib.Path(args.output)
         out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -558,6 +610,25 @@ def _run_loadgen(args) -> int:
     return status
 
 
+def _print_server_latency(server_side: dict | None) -> None:
+    """Report server-side histogram percentiles next to the client's.
+
+    Server percentiles come from the service's ``request_seconds`` latency
+    histograms at bucket resolution (``pNN`` is the bucket upper bound), so
+    a client/server gap under one bucket is expected; anything beyond is
+    flagged as a disagreement by :func:`repro.service.server_latency_report`.
+    """
+    if not server_side:
+        return
+    print(f"  server:  op={server_side['op']} p50 ≤ {server_side.get('p50_ms')}ms, "
+          f"p99 ≤ {server_side.get('p99_ms')}ms over {server_side['count']} "
+          f"request(s) (bucket resolution)", file=sys.stderr)
+    for d in server_side.get("disagreements", []):
+        print(f"loadgen: WARNING client/server {d['quantile']} disagree beyond "
+              f"bucket resolution: client {d['client_ms']}ms vs server "
+              f"({d['server_lo_ms']}, {d['server_hi_ms']}]ms", file=sys.stderr)
+
+
 def _run_loadgen_churn(args, scenarios) -> int:
     """Churn mode: replay mutation traces through stateful sessions."""
     import asyncio
@@ -592,6 +663,10 @@ def _run_loadgen_churn(args, scenarios) -> int:
     print(f"  {report['requests']} requests in {report['wall_s']}s "
           f"= {report['throughput_rps']} req/s "
           f"(p50 {lat.get('p50_ms')}ms, p99 {lat.get('p99_ms')}ms)", file=sys.stderr)
+    for op, entry in sorted((report.get("server_latency") or {}).items()):
+        print(f"  server:  op={op} p50 ≤ {entry.get('p50_ms')}ms, "
+              f"p99 ≤ {entry.get('p99_ms')}ms over {entry['count']} request(s)",
+              file=sys.stderr)
     if args.output:
         out_path = pathlib.Path(args.output)
         out_path.parent.mkdir(parents=True, exist_ok=True)

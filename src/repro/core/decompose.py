@@ -19,6 +19,7 @@ import numpy as np
 
 from .._util import as_float_array
 from ..graphs.graph import Graph
+from ..obs import span
 from .balance import strict_balance_margin
 from .binpack import binpack_strict
 from .boundary_balance import boundary_balanced_coloring
@@ -119,27 +120,31 @@ def min_max_partition(
 
     stage_max: dict = {}
     # Stage 1: Proposition 7 — boundary-balanced multi-balanced coloring.
-    chi, diagnostics = boundary_balanced_coloring(
-        g, k, [w] + extra, oracle, params, ctx=ctx
-    )
+    with span("pipeline.prop7"):
+        chi, diagnostics = boundary_balanced_coloring(
+            g, k, [w] + extra, oracle, params, ctx=ctx
+        )
     stage_max["prop7"] = chi.max_boundary(g)
 
     # Stage 2: Proposition 11 — almost strict balance at no (asymptotic) cost.
     pi = splitting_cost_measure(g, params.p, params.sigma_p)
     if params.improve_balance and not chi.is_almost_strictly_balanced(w):
-        chi = improve_balance(g, chi, w, oracle, params, pi=pi, ctx=ctx)
+        with span("pipeline.prop11"):
+            chi = improve_balance(g, chi, w, oracle, params, pi=pi, ctx=ctx)
         stage_max["prop11"] = chi.max_boundary(g)
 
     # Stage 3: Proposition 12 — strict balance, unconditionally.
     if params.strictify:
-        chi = binpack_strict(g, chi, w, oracle, ctx=ctx)
+        with span("pipeline.prop12"):
+            chi = binpack_strict(g, chi, w, oracle, ctx=ctx)
         stage_max["prop12"] = chi.max_boundary(g)
 
     # Stage 4 (engineering): window-preserving pairwise FM refinement.
     if params.final_refine and params.strictify and g.n <= 50_000:
         from .refine import kway_refine
 
-        chi = kway_refine(g, chi, w, rounds=params.refine_rounds)
+        with span("pipeline.refine"):
+            chi = kway_refine(g, chi, w, rounds=params.refine_rounds)
         stage_max["refine"] = chi.max_boundary(g)
 
     return DecompositionResult(

@@ -86,6 +86,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graphs.graph import Graph
+from ..obs import span
 
 __all__ = [
     "KernelState",
@@ -960,5 +961,6 @@ def run_pair_kernel(
         fn = _KERNEL_FNS[name]
     except KeyError:
         raise KeyError(f"unknown FM kernel {name!r} (have {sorted(REGISTRY)})") from None
-    return fn(g, labels, weights, i, j, lo_bound, hi_bound,
-              max_moves=max_moves, movable=movable, csr=csr)
+    with span("kernel.pass"):
+        return fn(g, labels, weights, i, j, lo_bound, hi_bound,
+                  max_moves=max_moves, movable=movable, csr=csr)

@@ -1,0 +1,65 @@
+"""Structured JSON-lines event logging for the service layer.
+
+One event per line, machine-parseable, written to a configurable stream
+(``repro serve --log-json`` points it at stderr).  Events are the home for
+everything that used to be silently swallowed — a failed shutdown stats
+callback, a journal fsync that could not run — plus the operational
+signals (slow requests, shard respawns, session loss/recovery) the crash
+path from PR 5 generates.
+
+Disabled by default: :meth:`EventLog.emit` is a single attribute check
+until :meth:`EventLog.configure` installs a stream.  Events carry a wall
+timestamp and are therefore volatile by construction — they never feed
+any deterministic output.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+__all__ = ["EventLog", "events"]
+
+
+class EventLog:
+    """A JSON-lines event sink (``None`` stream = disabled, the default)."""
+
+    def __init__(self, stream=None):
+        self._stream = stream
+        self.emitted = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._stream is not None
+
+    def configure(self, stream) -> None:
+        """Install (or, with ``None``, remove) the output stream."""
+        self._stream = stream
+
+    def emit(self, event: str, **fields) -> None:
+        """Write one event line: ``{"ts": ..., "event": ..., **fields}``.
+
+        Never raises: a dead log stream must not take a request down with
+        it (logging is strictly weaker than serving).
+        """
+        stream = self._stream
+        if stream is None:
+            return
+        doc = {"ts": round(time.time(), 6), "event": event}
+        for key, value in fields.items():
+            if value is not None:
+                doc[key] = value
+        try:
+            stream.write(json.dumps(doc, sort_keys=True, default=str) + "\n")
+            flush = getattr(stream, "flush", None)
+            if flush is not None:
+                flush()
+        except Exception:
+            pass
+        else:
+            self.emitted += 1
+
+
+#: the process-wide event log (the service front-end is its only writer
+#: today; workers report through outcomes, which the front-end logs)
+events = EventLog()

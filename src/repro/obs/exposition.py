@@ -1,0 +1,157 @@
+"""Prometheus text exposition + the minimal embedded /metrics endpoint.
+
+:func:`render_prometheus` turns a merged registry snapshot (see
+:func:`repro.obs.metrics.merge_snapshots`) into Prometheus text format
+0.0.4: counters as ``repro_*_total``, gauges as ``repro_*``, latency
+histograms as cumulative ``_bucket{le=...}`` series, and span rollups as
+``repro_span_seconds_total{span="..."}`` / ``repro_span_calls_total``.
+
+:func:`start_metrics_server` is a tiny asyncio HTTP/1.0-style listener for
+``GET /metrics`` — just enough protocol for Prometheus, curl, and load
+balancer health probes, with no dependency beyond asyncio.  Scraping is
+read-only by construction (it renders snapshots), so a concurrent scrape
+can never perturb request results — the byte-identity contract the CI
+metrics-smoke step holds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import re
+
+from .metrics import bucket_bounds, split_metric_key
+
+__all__ = ["render_prometheus", "start_metrics_server"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    return f"{prefix}_{_NAME_RE.sub('_', name)}"
+
+
+def _escape_label(value) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """One merged snapshot -> Prometheus text format (0.0.4)."""
+    lines: list[str] = []
+
+    def emit_header(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    seen_headers: set[str] = set()
+
+    def samples(section: dict, kind: str, suffix: str, help_text: str) -> None:
+        for key in sorted(section):
+            name, labels = split_metric_key(key)
+            metric = _metric_name(name, prefix)
+            if suffix and not metric.endswith(suffix):
+                metric += suffix
+            if metric not in seen_headers:
+                seen_headers.add(metric)
+                emit_header(metric, kind, help_text)
+            lines.append(f"{metric}{_labels_text(labels)} {_format_value(section[key])}")
+
+    samples(snapshot.get("counters", {}), "counter", "_total",
+            "Cumulative counter (merged across processes).")
+    samples(snapshot.get("gauges", {}), "gauge", "",
+            "Gauge (summed across processes).")
+
+    bounds = bucket_bounds()
+    for key in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][key]
+        name, labels = split_metric_key(key)
+        metric = _metric_name(name, prefix)
+        if metric not in seen_headers:
+            seen_headers.add(metric)
+            emit_header(metric, "histogram",
+                        "Log-bucketed latency histogram (seconds).")
+        cumulative = 0
+        counts = hist.get("counts", [])
+        for i, bound in enumerate(bounds):
+            cumulative += counts[i] if i < len(counts) else 0
+            le = {"le": _format_value(float(bound)), **labels}
+            lines.append(f"{metric}_bucket{_labels_text(le)} {cumulative}")
+        total = hist.get("count", 0)
+        lines.append(f"{metric}_bucket{_labels_text({'le': '+Inf', **labels})} {total}")
+        lines.append(f"{metric}_sum{_labels_text(labels)} {_format_value(float(hist.get('sum', 0.0)))}")
+        lines.append(f"{metric}_count{_labels_text(labels)} {total}")
+
+    spans = snapshot.get("spans", {})
+    if spans:
+        sec = f"{prefix}_span_seconds_total"
+        calls = f"{prefix}_span_calls_total"
+        emit_header(sec, "counter", "Wall-clock accumulated per span path.")
+        emit_header(calls, "counter", "Invocations accumulated per span path.")
+        for path in sorted(spans):
+            entry = spans[path]
+            label = _labels_text({"span": path})
+            lines.append(f"{sec}{label} {_format_value(float(entry.get('seconds', 0.0)))}")
+            lines.append(f"{calls}{label} {entry.get('calls', 0)}")
+    return "\n".join(lines) + "\n"
+
+
+async def start_metrics_server(collect, host: str = "127.0.0.1", port: int = 0):
+    """Serve ``GET /metrics`` (and ``/healthz``) with ``collect()``'s text.
+
+    ``collect`` is an async callable returning the exposition body; it runs
+    per scrape, so the endpoint always reports live totals.  Returns the
+    started :class:`asyncio.Server` (close it to stop; ``port=0`` binds an
+    ephemeral port readable off ``server.sockets``).
+    """
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            request_line = await reader.readline()
+            # drain headers; scrapers send few and we answer-and-close
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            if parts and parts[0] != "GET":
+                status, body, ctype = "405 Method Not Allowed", "method not allowed\n", "text/plain"
+            elif path in ("/metrics", "/metrics/"):
+                status, ctype = "200 OK", "text/plain; version=0.0.4; charset=utf-8"
+                body = await collect()
+            elif path == "/healthz":
+                status, body, ctype = "200 OK", "ok\n", "text/plain"
+            else:
+                status, body, ctype = "404 Not Found", "try /metrics\n", "text/plain"
+            payload = body.encode()
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode()
+                + payload
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handle, host, port)

@@ -23,6 +23,7 @@ from contextlib import nullcontext
 
 from ..analysis import evaluate_coloring, theorem5_rhs
 from ..core.kernels import use_kernel
+from ..obs import span, spans_delta, spans_snapshot
 from ..separators.solve import counters_snapshot
 from .algorithms import resolved_kernel_name, resolved_oracle_name, run_algorithm
 from .instances import Instance, InstanceCache
@@ -95,13 +96,21 @@ def _kernel_context(scenario: Scenario):
 
 
 def run_scenario(scenario: Scenario, cache: InstanceCache | None = None) -> ScenarioResult:
-    """Build the instance, run the algorithm, evaluate, and time one cell."""
-    if cache is not None:
-        inst = cache.get(scenario)
-    else:
-        from .instances import build_instance
+    """Build the instance, run the algorithm, evaluate, and time one cell.
 
-        inst = build_instance(scenario)
+    Telemetry: each phase runs inside a ``scenario.*`` span, and the span
+    rollups accumulated for this scenario alone travel back on the result
+    as a volatile delta (mirroring the eigensolver counter deltas) — the
+    mergeable unit sweep workers ship to the parent.
+    """
+    spans_before = spans_snapshot()
+    with span("scenario.instance"):
+        if cache is not None:
+            inst = cache.get(scenario)
+        else:
+            from .instances import build_instance
+
+            inst = build_instance(scenario)
     counters_before = counters_snapshot()
     if scenario.algorithm == "stream":
         # streaming scenarios replay a mutation trace: metrics must be
@@ -110,7 +119,7 @@ def run_scenario(scenario: Scenario, cache: InstanceCache | None = None) -> Scen
         from ..stream import run_stream_scenario
 
         t0 = time.perf_counter()
-        with _kernel_context(scenario):
+        with _kernel_context(scenario), span("scenario.algorithm"):
             metrics = run_stream_scenario(inst, scenario)
         wall = time.perf_counter() - t0
         kernel_name = resolved_kernel_name(scenario)
@@ -122,14 +131,16 @@ def run_scenario(scenario: Scenario, cache: InstanceCache | None = None) -> Scen
             metrics=metrics,
             wall_clock_s=wall,
             solver_stats=_solver_delta(counters_before, counters_snapshot()),
+            span_stats=spans_delta(spans_before, spans_snapshot()),
         )
     t0 = time.perf_counter()
-    with _kernel_context(scenario):
+    with _kernel_context(scenario), span("scenario.algorithm"):
         coloring = run_algorithm(inst, scenario)
     wall = time.perf_counter() - t0
     g = inst.graph
-    m = evaluate_coloring(g, coloring, inst.weights)
-    rhs5 = theorem5_rhs(g, scenario.k, p=2.0)
+    with span("scenario.evaluate"):
+        m = evaluate_coloring(g, coloring, inst.weights)
+        rhs5 = theorem5_rhs(g, scenario.k, p=2.0)
     metrics = {
         "max_boundary": float(m.max_boundary),
         "avg_boundary": float(m.avg_boundary),
@@ -153,6 +164,7 @@ def run_scenario(scenario: Scenario, cache: InstanceCache | None = None) -> Scen
         metrics=metrics,
         wall_clock_s=wall,
         solver_stats=_solver_delta(counters_before, counters_snapshot()),
+        span_stats=spans_delta(spans_before, spans_snapshot()),
     )
 
 

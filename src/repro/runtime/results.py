@@ -75,6 +75,10 @@ class ScenarioResult:
     #: Volatile like wall-clock — process-cache state leaks across scenarios —
     #: so it ships only in the opt-in ``timing``-tier ``solver`` block.
     solver_stats: dict | None = None
+    #: phase-span rollup deltas (``path -> {calls, seconds}``) for this
+    #: scenario — volatile wall-clock, so timing-tier only (the ``spans``
+    #: block).  Picklable: this is how sweep workers ship span telemetry.
+    span_stats: dict | None = None
 
     @property
     def scenario_id(self) -> str:
@@ -99,6 +103,9 @@ def results_to_dict(results: list[ScenarioResult], grid=None, timing: bool = Fal
         solver = {r.scenario_id: r.solver_stats for r in results if r.solver_stats}
         if solver:
             doc["solver"] = solver
+        spans = {r.scenario_id: r.span_stats for r in results if r.span_stats}
+        if spans:
+            doc["spans"] = spans
     return doc
 
 
@@ -107,6 +114,7 @@ def results_from_dict(doc: dict) -> list[ScenarioResult]:
         raise ValueError(f"unsupported schema_version {doc.get('schema_version')!r}")
     timing = doc.get("timing", {})
     solver = doc.get("solver", {})
+    spans = doc.get("spans", {})
     out = []
     for rec in doc["results"]:
         spec = dict(rec["scenario"])
@@ -121,6 +129,7 @@ def results_from_dict(doc: dict) -> list[ScenarioResult]:
                 metrics=dict(rec["metrics"]),
                 wall_clock_s=float(timing.get(rec["scenario_id"], 0.0)),
                 solver_stats=solver.get(rec["scenario_id"]),
+                span_stats=spans.get(rec["scenario_id"]),
             )
         )
     return out

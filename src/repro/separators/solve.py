@@ -37,6 +37,7 @@ import os
 import numpy as np
 
 from .._util import BoundedLru
+from ..obs import span
 
 __all__ = [
     "SolveCache",
@@ -234,9 +235,10 @@ def oracle_split(oracle, g, weights, target, ctx: SolveContext | None = None):
     ``accepts_ctx = True``; plain 3-argument oracles (user code, test
     doubles) keep working unchanged.
     """
-    if ctx is not None and getattr(oracle, "accepts_ctx", False):
-        return oracle.split(g, weights, target, ctx=ctx)
-    return oracle.split(g, weights, target)
+    with span("oracle.split"):
+        if ctx is not None and getattr(oracle, "accepts_ctx", False):
+            return oracle.split(g, weights, target, ctx=ctx)
+        return oracle.split(g, weights, target)
 
 
 def split_on(oracle, sub, weights, target, ctx: SolveContext | None = None):

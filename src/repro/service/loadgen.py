@@ -27,9 +27,17 @@ import time
 
 import numpy as np
 
+from ..obs.metrics import HISTOGRAM_FACTOR, histogram_summary, metric_key
 from .protocol import ProtocolError, canonical_record, encode
 
-__all__ = ["ServiceClient", "run_loadgen", "run_churn", "latency_summary", "parse_mix"]
+__all__ = [
+    "ServiceClient",
+    "run_loadgen",
+    "run_churn",
+    "latency_summary",
+    "server_latency_report",
+    "parse_mix",
+]
 
 
 class ServiceClient:
@@ -117,6 +125,66 @@ def latency_summary(latencies_s: list[float]) -> dict:
     }
 
 
+#: fixed slack for the client/server percentile cross-check, in ms — covers
+#: the wire plus the client's own event-loop queueing under concurrent
+#: connections; real measurement bugs (clock skew, dropped timers) are
+#: tens of ms and still flag
+_WIRE_ALLOWANCE_MS = 5.0
+
+
+def server_latency_report(
+    stats: dict, op: str, client_latencies_s: list[float] | None = None
+) -> dict | None:
+    """Server-side latency percentiles for ``op`` from a ``stats`` payload.
+
+    Reads the ``request_seconds{op=...}`` histogram out of the stats
+    telemetry tier (present when the server runs with telemetry on) and
+    summarizes it at bucket resolution — each ``pNN_ms`` is the upper
+    bound of the bucket holding that quantile, ``pNN_lo_ms`` the lower.
+
+    With ``client_latencies_s``, additionally cross-checks the client-side
+    percentiles against the server's brackets and reports every quantile
+    that disagrees **beyond bucket resolution**: the client number (which
+    includes the wire and the client's own scheduling) must land inside
+    the server bracket widened by one bucket (a factor of
+    ``HISTOGRAM_FACTOR``) plus ``_WIRE_ALLOWANCE_MS`` of fixed slack —
+    without it every cache hit would flag: the wire plus the client's own
+    event-loop queueing under concurrent connections cost single-digit
+    milliseconds, more than the request itself.  The server histogram is global — it
+    covers the server's whole lifetime, including other clients — so the
+    "client faster than server" direction is only checked when both sides
+    observed the same number of requests (same population); client slower
+    is always checked, since client time includes server time.
+    """
+    hist = (stats.get("telemetry") or {}).get("histograms", {}).get(
+        metric_key("request_seconds", {"op": op})
+    )
+    if not hist or not hist.get("count"):
+        return None
+    out = {"op": op, **histogram_summary(hist)}
+    if client_latencies_s:
+        client = latency_summary(client_latencies_s)
+        same_population = hist["count"] == len(client_latencies_s)
+        disagreements = []
+        for q in (50, 95, 99):
+            c = client.get(f"p{q}_ms")
+            hi = out.get(f"p{q}_ms")
+            lo = out.get(f"p{q}_lo_ms")
+            if c is None or hi is None:
+                continue
+            if c > hi * HISTOGRAM_FACTOR + _WIRE_ALLOWANCE_MS or (
+                same_population and lo is not None
+                and c < lo / HISTOGRAM_FACTOR - _WIRE_ALLOWANCE_MS
+            ):
+                disagreements.append(
+                    {"quantile": f"p{q}", "client_ms": c,
+                     "server_lo_ms": lo, "server_hi_ms": hi}
+                )
+        out["client"] = client
+        out["disagreements"] = disagreements
+    return out
+
+
 def parse_mix(mix: str | None) -> dict | None:
     """Parse a ``--mix`` spec (currently ``zipf:<s>``, e.g. ``zipf:1.1``)."""
     if mix is None:
@@ -174,6 +242,7 @@ async def run_loadgen(
     bodies: dict[str, str] = {}
     errors: list[dict] = []
     pass_reports = []
+    all_latencies: list[float] = []
     try:
         for pass_no in range(1, int(passes) + 1):
             schedule = (
@@ -201,6 +270,7 @@ async def run_loadgen(
             t0 = time.perf_counter()
             await asyncio.gather(*(worker(c) for c in clients))
             wall = time.perf_counter() - t0
+            all_latencies.extend(latencies)
             pass_reports.append(
                 {
                     "pass": pass_no,
@@ -222,6 +292,11 @@ async def run_loadgen(
         "errors": errors,
         "server_stats": server_stats.get("stats", {}),
     }
+    server_side = server_latency_report(
+        server_stats.get("stats", {}), "decompose", all_latencies
+    )
+    if server_side is not None:
+        report["server_latency"] = server_side
     if mix_info is not None:
         report["mix"] = {**mix_info, "grid_size": len(specs)}
     return {"report": report, "bodies": dict(sorted(bodies.items()))}
@@ -328,6 +403,13 @@ async def run_churn(
         "latency": latency_summary(latencies),
         "errors": errors,
         "lost_sessions": lost,
+        # server-side per-op latency brackets (stream ops have no single
+        # client-side counterpart sample, so no agreement check here)
+        "server_latency": {
+            op: entry
+            for op in ("open_stream", "mutate", "snapshot", "close_stream")
+            if (entry := server_latency_report(stats, op)) is not None
+        },
         "recovered_sessions":
             stats.get("sessions", {}).get("recovered", 0) - recovered_before,
         "server_stats": stats,

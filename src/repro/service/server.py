@@ -24,7 +24,16 @@ from __future__ import annotations
 import asyncio
 import pathlib
 from collections import defaultdict
+from time import perf_counter
 
+from ..obs import (
+    events,
+    merge_snapshots,
+    registry as obs_registry,
+    render_prometheus,
+    start_metrics_server,
+    telemetry_enabled,
+)
 from .batcher import MicroBatcher
 from .cache import ColoringCache
 from .protocol import (
@@ -73,6 +82,7 @@ class DecompositionService:
         journal_dir=None,
         recovery: bool = True,
         recovery_attempts: int = 3,
+        slow_request_s: float | None = None,
     ):
         self.cache = ColoringCache(maxsize=cache_size, max_bytes=cache_max_bytes)
         self.pool = ShardPool(shards=shards, cache_dir=cache_dir)
@@ -128,6 +138,9 @@ class DecompositionService:
         self.requests = 0
         self.coalesced = 0
         self.errors = 0
+        #: requests slower than this (seconds) emit a ``request.slow`` event
+        #: (``repro serve --slow-ms``); None disables the classifier
+        self.slow_request_s = slow_request_s
 
     def _authorize(self, scenario) -> None:
         if scenario.family != "npz":
@@ -284,6 +297,8 @@ class DecompositionService:
             reason = str(outcome.get("error") or "worker state gone")
             if not reason.startswith("session lost"):
                 reason = f"session lost: {reason}"
+            events.emit("session.lost", session=sid, op=op, error=reason)
+            obs_registry().counter("sessions_lost").inc()
             raise ServiceError(reason)
         if not outcome.get("ok"):
             raise ServiceError(outcome.get("error", "session op failed"))
@@ -345,14 +360,20 @@ class DecompositionService:
                             await asyncio.get_running_loop().run_in_executor(
                                 None, self.journal.sync_session, sid
                             )
-                        except OSError:
+                        except OSError as exc:
                             # unlike a failed append, the entry IS in the
                             # log (write+flush succeeded) and same-host
                             # replay never needs the barrier — failing an
                             # applied op here would push the client into a
                             # double-applying retry; the unsynced count
-                            # stays, so the next append retries the fsync
-                            pass
+                            # stays, so the next append retries the fsync.
+                            # Swallowed for the client, never for the
+                            # operator: a disk that cannot fsync is exactly
+                            # what the event log exists to surface.
+                            events.emit(
+                                "journal.sync_error", session=sid,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
         return outcome
 
     @staticmethod
@@ -396,6 +417,8 @@ class DecompositionService:
             if self._state_lost(retried):
                 continue  # killed between replay and retry; replay again
             self.sessions_recovered += 1
+            events.emit("session.recovered", session=sid, replayed_ops=len(ops))
+            obs_registry().counter("sessions_recovered").inc()
             return retried
         return lost_outcome
 
@@ -438,13 +461,51 @@ class DecompositionService:
                     # must go with the session or it would zombie on disk
                     self.journal.delete(sid)
                 self.sessions_expired += 1
+                events.emit("session.expired", session=sid,
+                            idle_s=round(fresh - entry["last_used"], 3))
 
     async def stats_async(self) -> dict:
         """The ``stats`` wire-op payload: :meth:`stats` plus the oracle
-        cache tier (per-shard eigensolver counters, asked on the workers)."""
+        cache tier (per-shard eigensolver counters, asked on the workers)
+        and — when telemetry is on — the merged registry snapshot with
+        per-op latency histograms and pipeline span rollups."""
         doc = self.stats()
         doc["oracle_cache"] = await self.pool.solver_stats()
+        if telemetry_enabled():
+            doc["telemetry"] = await self.telemetry_snapshot()
         return doc
+
+    async def telemetry_snapshot(self) -> dict:
+        """Merged telemetry: the front-end registry plus every shard worker.
+
+        Request histograms live in the front-end (timed around the whole
+        handler); span rollups and stream counters live in the workers that
+        ran them — ``merge_snapshots`` sums both into one service-level
+        view.  Service counters the ``stats`` op reports are mirrored in as
+        gauges so a single ``/metrics`` scrape carries the whole
+        operational picture.
+        """
+        snaps = [obs_registry().snapshot()]
+        snaps.extend(await self.pool.metrics_snapshots())
+        merged = merge_snapshots(snaps)
+        gauges = merged["gauges"]
+        cache = self.cache.stats()
+        pool = self.pool.stats()
+        for name, value in (
+            ("service_requests", self.requests),
+            ("service_coalesced", self.coalesced),
+            ("service_errors", self.errors),
+            ("cache_hits", cache.get("hits", 0)),
+            ("cache_misses", cache.get("misses", 0)),
+            ("cache_entries", cache.get("entries", 0)),
+            ("sessions_open", len(self._sessions)),
+            ("sessions_opened", self.sessions_opened),
+            ("sessions_closed", self.sessions_closed),
+            ("sessions_expired", self.sessions_expired),
+            ("shard_respawns", pool.get("respawns", 0)),
+        ):
+            gauges[name] = value
+        return merged
 
     def stats(self) -> dict:
         return {
@@ -474,7 +535,11 @@ class DecompositionService:
             self.journal.close()
 
 
-async def _handle_request(service: DecompositionService, req: dict, stop: asyncio.Event) -> dict:
+#: hard cap on client-chosen trace ids — they are echoed and logged verbatim
+_MAX_TRACE_ID = 128
+
+
+async def _dispatch(service: DecompositionService, req: dict, stop: asyncio.Event) -> dict:
     rid = req.get("id")
     op = req.get("op")
     if op == "ping":
@@ -494,8 +559,43 @@ async def _handle_request(service: DecompositionService, req: dict, stop: asynci
         return {"id": rid, "ok": False, "error": str(exc)}
     except Exception as exc:  # noqa: BLE001 — every request must get an answer;
         # an unanswered id leaves the client blocked on readline forever
+        events.emit("request.internal_error", op=op, id=rid,
+                    error=f"{type(exc).__name__}: {exc}")
         return {"id": rid, "ok": False, "error": f"internal error: {type(exc).__name__}"}
     return {"id": rid, "ok": True, "record": record}
+
+
+async def _handle_request(service: DecompositionService, req: dict, stop: asyncio.Event) -> dict:
+    """Dispatch one request, timing it into the per-op latency histogram.
+
+    An optional client-sent ``trace`` id is echoed back in the response
+    envelope (and stamped on slow-request events), so a caller can stitch
+    its own request ids to server-side telemetry across the pipelined
+    wire.  The echo lives *next to* the record/snapshot fields, never
+    inside them — byte-identity of the bodies maps is untouched.
+    """
+    trace = req.get("trace")
+    if trace is not None and (not isinstance(trace, str) or not trace
+                              or len(trace) > _MAX_TRACE_ID):
+        return {"id": req.get("id"), "ok": False,
+                "error": f"trace must be a non-empty string of at most "
+                         f"{_MAX_TRACE_ID} characters"}
+    op = req.get("op") or "decompose"
+    t0 = perf_counter()
+    resp = await _dispatch(service, req, stop)
+    dt = perf_counter() - t0
+    if telemetry_enabled():
+        reg = obs_registry()
+        reg.histogram("request_seconds", op=op).observe(dt)
+        if not resp.get("ok"):
+            reg.counter("request_errors", op=op).inc()
+    slow = service.slow_request_s
+    if slow is not None and dt >= slow:
+        events.emit("request.slow", op=op, id=req.get("id"), trace=trace,
+                    ms=round(dt * 1000.0, 3), ok=bool(resp.get("ok")))
+    if trace is not None:
+        resp["trace"] = trace
+    return resp
 
 
 async def serve(
@@ -505,6 +605,8 @@ async def serve(
     ready=None,
     idle_timeout: float | None = None,
     on_close=None,
+    metrics_port: int | None = None,
+    metrics_ready=None,
 ) -> None:
     """Run the TCP front-end until a ``shutdown`` request (or cancellation).
 
@@ -515,6 +617,12 @@ async def serve(
     ``on_close`` is an optional callback invoked with the final stats
     document (including the oracle-cache tier) after the listener stops but
     before the shard pool shuts down — ``repro serve`` logs it.
+
+    ``metrics_port`` additionally serves Prometheus text format on
+    ``GET /metrics`` (same host, separate listener; 0 binds an ephemeral
+    port reported through ``metrics_ready``).  Scrapes render merged
+    telemetry snapshots — read-only, so a concurrent scrape can never
+    perturb request results.
 
     ``idle_timeout`` (seconds) reaps connections with no traffic: a client
     that neither sends a request nor has one in flight for that long is
@@ -605,9 +713,22 @@ async def serve(
     bound = server.sockets[0].getsockname()[:2]
     if ready is not None:
         ready(*bound)
+    metrics_server = None
+    if metrics_port is not None:
+
+        async def collect() -> str:
+            return render_prometheus(await service.telemetry_snapshot())
+
+        metrics_server = await start_metrics_server(collect, host=host, port=metrics_port)
+        if metrics_ready is not None:
+            metrics_ready(*metrics_server.sockets[0].getsockname()[:2])
     try:
         await stop.wait()
     finally:
+        if metrics_server is not None:
+            # stop scrapes first: a scrape after service.close() would ask
+            # dead shard executors for their snapshots
+            metrics_server.close()
         # close() only — Server.wait_closed() waits for every open handler
         # since 3.12.1, so one idle client would hang shutdown forever;
         # instead give handlers a grace period, then cancel stragglers
@@ -623,6 +744,8 @@ async def serve(
             # include their oracle-cache counters one last time
             try:
                 on_close(await service.stats_async())
-            except Exception:
-                pass  # a stats failure must not block shutdown
+            except Exception as exc:  # noqa: BLE001 — a stats failure must
+                # not block shutdown, but it must not vanish silently either
+                events.emit("server.close_stats_error",
+                            error=f"{type(exc).__name__}: {exc}")
         await service.close()

@@ -21,10 +21,11 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+from ..obs import events
 from ..runtime import InstanceCache, Scenario
 from ..runtime.engine import run_scenario, worker_init, worker_run_record
 
-__all__ = ["ShardPool", "shard_run", "shard_solver_stats"]
+__all__ = ["ShardPool", "shard_run", "shard_solver_stats", "shard_metrics"]
 
 #: distinguishes pools within one process — the inline (``shards=0``) mode
 #: shares the worker-side session registry with every other inline pool in
@@ -61,6 +62,19 @@ def shard_solver_stats() -> dict:
     from ..separators.solve import solver_stats
 
     return solver_stats()
+
+
+def shard_metrics() -> dict:
+    """Executed inside a shard process: its telemetry registry snapshot.
+
+    The snapshot is a plain picklable dict that merges by addition
+    (:func:`repro.obs.merge_snapshots`), so the front-end sums every
+    worker's view with its own — the same shipping pattern as
+    :func:`shard_solver_stats`.
+    """
+    from ..obs import registry
+
+    return registry().snapshot()
 
 
 def _aggregate_solver_stats(per_shard: list[dict]) -> dict:
@@ -209,6 +223,7 @@ class ShardPool:
         if self._executors[shard] is not broken:
             return
         self.respawns += 1
+        events.emit("shard.respawn", shard=shard, respawns=self.respawns)
         try:
             broken.shutdown(wait=False, cancel_futures=True)
         except Exception:
@@ -239,6 +254,24 @@ class ShardPool:
                 for r in results
             ]
         return _aggregate_solver_stats(per_shard)
+
+    async def metrics_snapshots(self) -> list[dict]:
+        """Per-shard telemetry snapshots, ready for ``merge_snapshots``.
+
+        Inline (``shards=0``) pools share this process's registry with the
+        front-end, so they contribute nothing here — the caller's own
+        snapshot already covers them (returning it again would double
+        count).  A shard that cannot answer (worker mid-respawn) is
+        skipped rather than failing the scrape.
+        """
+        if self.shards == 0:
+            return []
+        loop = asyncio.get_running_loop()
+        results = await asyncio.gather(
+            *(loop.run_in_executor(ex, shard_metrics) for ex in self._executors),
+            return_exceptions=True,
+        )
+        return [r for r in results if isinstance(r, dict)]
 
     def stats(self) -> dict:
         return {

@@ -29,6 +29,8 @@ import math
 import time
 
 from ..core.coloring import Coloring
+from ..obs import registry as _telemetry
+from ..obs import span
 from .mutations import GraphState, Mutation, MutationError
 from .repair import cheap_lower_bound, local_repair, restore_window
 from .traces import TRACES, make_trace
@@ -144,8 +146,9 @@ class StreamSession:
         from ..runtime.instances import Instance
 
         t0 = time.perf_counter()
-        inst = Instance(self.state.graph(), self.state.weights.copy())
-        self.coloring = run_algorithm(inst, self._solver_scenario())
+        with span("stream.recompute"):
+            inst = Instance(self.state.graph(), self.state.weights.copy())
+            self.coloring = run_algorithm(inst, self._solver_scenario())
         self.recompute_seconds += time.perf_counter() - t0
         self.last_full_cost = self.coloring.max_boundary(self.state.graph())
         self.steps_since_full = 0
@@ -188,6 +191,10 @@ class StreamSession:
         return {"version": self.state.version, "hash": self.state.structural_hash()}
 
     def _apply_batch(self, batch: list) -> dict:
+        with span("stream.step"):
+            return self._apply_batch_inner(batch)
+
+    def _apply_batch_inner(self, batch: list) -> dict:
         dirty = self.state.apply(batch)
         self.steps_taken += 1
         self.steps_since_full += 1
@@ -200,9 +207,10 @@ class StreamSession:
             action = "recompute"
         else:
             t0 = time.perf_counter()
-            labels = self.coloring.labels
-            balanced = restore_window(g, labels, w, self.k)
-            refined = local_repair(g, labels, w, self.k, dirty.vertices)
+            with span("stream.repair"):
+                labels = self.coloring.labels
+                balanced = restore_window(g, labels, w, self.k)
+                refined = local_repair(g, labels, w, self.k, dirty.vertices)
             self.refined_pairs += refined
             self.coloring = Coloring(labels, self.k)
             self.repair_seconds += time.perf_counter() - t0
@@ -225,6 +233,12 @@ class StreamSession:
                     action = "recompute-refresh"
             if action == "repair":
                 self.repairs += 1
+        # telemetry: the drift monitor's verdicts, aggregable across every
+        # session a worker hosts (action cardinality is the fixed policy
+        # outcome set, so it is label-safe for /metrics)
+        reg = _telemetry()
+        reg.counter("stream_steps", action=action).inc()
+        reg.counter("stream_mutations").inc(len(batch))
         cost = self.coloring.max_boundary(g)
         return {
             "step": self.steps_taken,
