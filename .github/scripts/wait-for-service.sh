@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Block until the decomposition service answers a ping on $1 (port), or die.
+# Block until the decomposition service (or ring router — same protocol)
+# answers a ping on $1 (port), or die when the overall deadline expires.
 set -euo pipefail
-port="${1:?usage: wait-for-service.sh PORT [HOST]}"
+port="${1:?usage: wait-for-service.sh PORT [HOST] [DEADLINE_S]}"
 host="${2:-127.0.0.1}"
-for _ in $(seq 1 60); do
-  if PYTHONPATH=src python - "$host" "$port" <<'EOF'
+deadline="${3:-60}"
+SECONDS=0
+while (( SECONDS < deadline )); do
+  # each attempt is individually bounded too: a half-open accept (listener
+  # up, event loop wedged) must not eat the whole deadline in one bite
+  if timeout 5 env PYTHONPATH=src python - "$host" "$port" <<'EOF'
 import asyncio, sys
 from repro.service import ServiceClient
 
 async def ping(host, port):
-    client = await ServiceClient.connect(host, int(port))
+    client = await ServiceClient.connect(host, int(port), connect_timeout=4.0,
+                                         request_timeout=4.0)
     try:
         assert (await client.ping())["ok"]
     finally:
@@ -17,7 +23,7 @@ async def ping(host, port):
 
 try:
     asyncio.run(ping(sys.argv[1], sys.argv[2]))
-except OSError:
+except (OSError, asyncio.TimeoutError):
     raise SystemExit(1)
 EOF
   then
@@ -25,5 +31,5 @@ EOF
   fi
   sleep 0.5
 done
-echo "service on $host:$port never became ready" >&2
+echo "service on $host:$port never became ready within ${deadline}s" >&2
 exit 1

@@ -145,6 +145,49 @@ def build_parser() -> argparse.ArgumentParser:
                     help="emit a request.slow event for requests taking "
                     "longer than this many milliseconds")
 
+    rt = sub.add_parser("route",
+                        help="ring-aware front-end routing across serve hosts "
+                        "with journal-based session failover")
+    rt.add_argument("--host", default="127.0.0.1")
+    rt.add_argument("--port", type=int, default=8641, help="TCP port (0 = ephemeral)")
+    rt.add_argument("--backends", required=True,
+                    help="comma-separated host:port list of repro serve hosts "
+                    "forming the ring")
+    rt.add_argument("--journal-root",
+                    help="shared storage root holding each host's journal "
+                    "directory (<root>/<host_port>, i.e. each backend runs "
+                    "with --journal-dir there); enables zero-loss session "
+                    "handoff when a host dies or is drained")
+    rt.add_argument("--replicas", type=int, default=64,
+                    help="virtual nodes per host on the hash ring")
+    rt.add_argument("--retries", type=int, default=2,
+                    help="per-request retry budget against one host before "
+                    "it is marked down")
+    rt.add_argument("--request-timeout", type=float, default=30.0,
+                    help="per-hop request deadline in seconds")
+    rt.add_argument("--connect-timeout", type=float, default=5.0,
+                    help="backend connection deadline in seconds")
+    rt.add_argument("--backoff-ms", type=float, default=50.0,
+                    help="base of the jittered exponential retry backoff")
+    rt.add_argument("--probe-interval", type=float,
+                    help="re-ping down hosts every this many seconds and "
+                    "return responders to the ring (off by default)")
+    rt.add_argument("--idle-timeout", type=float,
+                    help="reap connections idle for this many seconds "
+                    "(ping is the keep-alive heartbeat)")
+    rt.add_argument("--metrics-port", type=int,
+                    help="serve the router's Prometheus metrics (ring gauges, "
+                    "per-hop latencies) on GET /metrics at this port")
+    rt.add_argument("--log-json", action="store_true",
+                    help="write structured JSON-lines events (host.down, "
+                    "session.handoff, slow requests) to stderr")
+    rt.add_argument("--slow-ms", type=float,
+                    help="emit a request.slow event for routed requests "
+                    "taking longer than this many milliseconds")
+    rt.add_argument("--no-shutdown-backends", action="store_true",
+                    help="a shutdown op stops only the router, leaving the "
+                    "serve hosts behind it running")
+
     pf = sub.add_parser("profile",
                         help="run a scenario grid under cProfile and print the "
                         "hottest functions (dev tool backing perf PRs)")
@@ -525,6 +568,62 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_route(args) -> int:
+    import asyncio
+
+    from .service import RingRouter, route_serve
+
+    if args.log_json:
+        from .obs import events
+
+        events.configure(sys.stderr)
+    try:
+        router = RingRouter(
+            args.backends,
+            journal_root=args.journal_root,
+            replicas=args.replicas,
+            retries=args.retries,
+            backoff_base_s=args.backoff_ms / 1000.0,
+            connect_timeout=args.connect_timeout,
+            request_timeout=args.request_timeout,
+            slow_request_s=args.slow_ms / 1000.0 if args.slow_ms is not None else None,
+            propagate_shutdown=not args.no_shutdown_backends,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"route: {exc}") from exc
+
+    def _ready(host, port):
+        print(f"route: listening on {host}:{port} "
+              f"(ring={len(router.endpoints)} host(s), "
+              f"journal_root={args.journal_root or 'none'}, "
+              f"retries={args.retries})",
+              file=sys.stderr, flush=True)
+
+    def _metrics_ready(host, port):
+        print(f"route: metrics on http://{host}:{port}/metrics",
+              file=sys.stderr, flush=True)
+
+    def _on_close(stats):
+        ring = stats.get("ring", {})
+        print(f"route: forwarded={ring.get('forwarded', 0)} "
+              f"retried={ring.get('retried', 0)} "
+              f"handoffs={ring.get('handoffs', 0)} "
+              f"lost={ring.get('sessions_lost', 0)} "
+              f"down={','.join(ring.get('down', [])) or 'none'}",
+              file=sys.stderr, flush=True)
+
+    try:
+        asyncio.run(route_serve(router, host=args.host, port=args.port,
+                                ready=_ready, idle_timeout=args.idle_timeout,
+                                metrics_port=args.metrics_port,
+                                metrics_ready=_metrics_ready,
+                                probe_interval=args.probe_interval,
+                                on_close=_on_close))
+    except KeyboardInterrupt:
+        print("route: interrupted", file=sys.stderr)
+    return 0
+
+
 def _run_loadgen(args) -> int:
     import asyncio
     import json as _json
@@ -755,6 +854,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_profile(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "route":
+        return _run_route(args)
     if args.command == "loadgen":
         return _run_loadgen(args)
     return 2  # pragma: no cover

@@ -29,6 +29,12 @@ Quick use::
 
 :mod:`.loadgen` is the matching client/load generator (grid replay, zipf
 mixes, churn mode).
+
+Horizontal scale-out lives in :mod:`.ring`: ``repro route`` fronts several
+``repro serve`` hosts with a consistent-hash ring (sessions sticky by id,
+stateless requests by instance hash) and hands sessions off between hosts
+by replaying their journals from shared storage — a whole-host death
+becomes a byte-identical failover instead of ``session lost``.
 """
 
 from .batcher import MicroBatcher
@@ -37,6 +43,7 @@ from .loadgen import ServiceClient, latency_summary, parse_mix, run_churn, run_l
 from .protocol import (
     CONTROL_OPS,
     PROTOCOL_VERSION,
+    ROUTER_OPS,
     STREAM_OPS,
     ProtocolError,
     canonical_record,
@@ -45,26 +52,42 @@ from .protocol import (
     scenario_from_spec,
     stream_request_fields,
 )
-from .server import DecompositionService, ServiceError, serve
+from .ring import (
+    HashRing,
+    HostDownError,
+    RingRouter,
+    endpoint_journal_dir,
+    parse_endpoints,
+    route_serve,
+)
+from .server import DecompositionService, ServiceError, run_line_server, serve
 from .shards import ShardPool
 
 __all__ = [
     "CONTROL_OPS",
     "PROTOCOL_VERSION",
+    "ROUTER_OPS",
     "STREAM_OPS",
     "ColoringCache",
     "DecompositionService",
+    "HashRing",
+    "HostDownError",
     "MicroBatcher",
     "ProtocolError",
+    "RingRouter",
     "ServiceClient",
     "ServiceError",
     "ShardPool",
     "canonical_record",
     "encode",
+    "endpoint_journal_dir",
     "latency_summary",
+    "parse_endpoints",
     "parse_mix",
     "parse_request",
+    "route_serve",
     "run_churn",
+    "run_line_server",
     "run_loadgen",
     "scenario_from_spec",
     "serve",

@@ -23,6 +23,7 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import random
 import time
 
 import numpy as np
@@ -41,20 +42,106 @@ __all__ = [
 
 
 class ServiceClient:
-    """One connection speaking the JSON-lines protocol, request/response."""
+    """One connection speaking the JSON-lines protocol, request/response.
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    ``connect_timeout`` bounds socket establishment (including each attempt
+    of :meth:`reconnect`); ``request_timeout`` bounds a whole
+    :meth:`call` round trip.  Both default to None — no deadline — so
+    embedded uses (tests driving an in-process server) keep exact legacy
+    behavior.  A timed-out call leaves the connection in an undefined
+    wire state (the response may still arrive later); callers must
+    :meth:`reconnect` before reusing the client.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        connect_timeout: float | None = None,
+        request_timeout: float | None = None,
+    ):
         self._reader = reader
         self._writer = writer
         self._next_id = 0
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServiceClient":
-        reader, writer = await asyncio.open_connection(host, port, limit=2**20)
-        return cls(reader, writer)
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float | None = None,
+        request_timeout: float | None = None,
+    ) -> "ServiceClient":
+        opening = asyncio.open_connection(host, port, limit=2**20)
+        if connect_timeout is not None:
+            reader, writer = await asyncio.wait_for(opening, connect_timeout)
+        else:
+            reader, writer = await opening
+        return cls(reader, writer, host=host, port=port,
+                   connect_timeout=connect_timeout, request_timeout=request_timeout)
 
-    async def call(self, message: dict) -> dict:
-        """Send one request and await its response (sequential per client)."""
+    async def reconnect(
+        self,
+        attempts: int = 4,
+        base_delay_s: float = 0.05,
+        cap_s: float = 1.0,
+    ) -> None:
+        """Re-open the transport with jittered exponential backoff.
+
+        The recovery path after a reset or timed-out call: drops the old
+        socket and dials again (each attempt under ``connect_timeout``),
+        sleeping ``base_delay_s * 2^n`` (jittered ±50%, capped at ``cap_s``)
+        between attempts.  Raises :class:`ConnectionError` when every
+        attempt fails.  Only available on clients built via
+        :meth:`connect` (the address is remembered there).
+        """
+        if self.host is None or self.port is None:
+            raise ConnectionError(
+                "client was not built with connect(); cannot reconnect")
+        self._writer.close()  # best effort; the peer is likely gone already
+        delay = base_delay_s
+        failure: Exception | None = None
+        for attempt in range(max(1, int(attempts))):
+            if attempt:
+                await asyncio.sleep(delay * random.uniform(0.5, 1.5))
+                delay = min(delay * 2.0, cap_s)
+            try:
+                opening = asyncio.open_connection(self.host, self.port, limit=2**20)
+                if self.connect_timeout is not None:
+                    self._reader, self._writer = await asyncio.wait_for(
+                        opening, self.connect_timeout)
+                else:
+                    self._reader, self._writer = await opening
+                return
+            except (OSError, asyncio.TimeoutError) as exc:
+                failure = exc
+        raise ConnectionError(
+            f"reconnect to {self.host}:{self.port} failed after "
+            f"{max(1, int(attempts))} attempt(s): "
+            f"{type(failure).__name__}: {failure}")
+
+    async def call(self, message: dict, timeout: float | None = None) -> dict:
+        """Send one request and await its response (sequential per client).
+
+        ``timeout`` (falling back to the client's ``request_timeout``)
+        bounds the whole round trip; on expiry :class:`asyncio.TimeoutError`
+        propagates and the connection needs a :meth:`reconnect`.
+        """
+        if timeout is None:
+            timeout = self.request_timeout
+        if timeout is None:
+            return await self._call(message)
+        return await asyncio.wait_for(self._call(message), timeout)
+
+    async def _call(self, message: dict) -> dict:
         self._next_id += 1
         rid = self._next_id
         self._writer.write(encode({"id": rid, **message}))
@@ -102,6 +189,38 @@ class ServiceClient:
             await self._writer.wait_closed()
         except (ConnectionResetError, BrokenPipeError):
             pass
+
+
+async def _resilient_call(client: ServiceClient, message: dict,
+                          counters: dict, transport_retries: int = 1) -> dict:
+    """One call with reconnect-and-retry on *transport* failures only.
+
+    A reset, refused, or timed-out connection is retried after a
+    :meth:`ServiceClient.reconnect` (itself backed off), up to
+    ``transport_retries`` times, counting each retry in
+    ``counters["retried"]``.  Application-level failures (``ok: false``)
+    pass through untouched — retrying those is the server's or the ring
+    router's job, never the load generator's.  An exhausted budget returns
+    a synthetic error reply flagged ``transport_failed`` (and counts in
+    ``counters["failed"]``) so report classification can keep wire deaths
+    apart from server-reported errors.
+    """
+    failure: Exception | None = None
+    for attempt in range(max(0, int(transport_retries)) + 1):
+        if attempt:
+            counters["retried"] = counters.get("retried", 0) + 1
+            try:
+                await client.reconnect()
+            except ConnectionError as exc:
+                failure = exc
+                continue
+        try:
+            return await client.call(message)
+        except (OSError, asyncio.TimeoutError) as exc:
+            failure = exc
+    counters["failed"] = counters.get("failed", 0) + 1
+    return {"ok": False, "transport_failed": True,
+            "error": f"transport: {type(failure).__name__}: {failure}"}
 
 
 def latency_summary(latencies_s: list[float]) -> dict:
@@ -224,6 +343,9 @@ async def run_loadgen(
     passes: int = 2,
     shutdown: bool = False,
     mix: str | None = None,
+    connect_timeout: float | None = 10.0,
+    request_timeout: float | None = 120.0,
+    transport_retries: int = 1,
 ) -> dict:
     """Fire ``specs`` at the server ``passes`` times over ``connections``.
 
@@ -233,14 +355,22 @@ async def run_loadgen(
     cached vs computed — raises, so the loadgen doubles as a cache-coherence
     check).  ``mix`` switches from replaying the grid uniformly to sampling
     it (see :func:`parse_mix`); the mix is recorded in the report.
+
+    Transport failures (reset, refused, per-request deadline) are retried
+    once per ``transport_retries`` after a backed-off reconnect, and the
+    report's ``transport`` block counts retried vs failed ops separately
+    from server-reported errors.
     """
     mix_info = parse_mix(mix)
     connections = max(1, min(int(connections), len(specs) or 1))
     clients = await asyncio.gather(
-        *(ServiceClient.connect(host, port) for _ in range(connections))
+        *(ServiceClient.connect(host, port, connect_timeout=connect_timeout,
+                                request_timeout=request_timeout)
+          for _ in range(connections))
     )
     bodies: dict[str, str] = {}
     errors: list[dict] = []
+    transport_counters: dict[str, int] = {"retried": 0, "failed": 0}
     pass_reports = []
     all_latencies: list[float] = []
     try:
@@ -254,10 +384,14 @@ async def run_loadgen(
             async def worker(client):
                 for _, spec in next_spec:
                     t0 = time.perf_counter()
-                    resp = await client.decompose(spec)
+                    resp = await _resilient_call(
+                        client, {"scenario": spec},
+                        transport_counters, transport_retries)
                     latencies.append(time.perf_counter() - t0)
                     if not resp.get("ok"):
-                        errors.append({"spec": spec, "error": resp.get("error")})
+                        errors.append({"spec": spec, "error": resp.get("error"),
+                                       **({"transport": True}
+                                          if resp.get("transport_failed") else {})})
                         continue
                     record = resp["record"]
                     sid = record["scenario_id"]
@@ -290,6 +424,8 @@ async def run_loadgen(
         "passes": pass_reports,
         "unique_scenarios": len(bodies),
         "errors": errors,
+        "transport": {"retried_ops": transport_counters["retried"],
+                      "failed_ops": transport_counters["failed"]},
         "server_stats": server_stats.get("stats", {}),
     }
     server_side = server_latency_report(
@@ -309,6 +445,9 @@ async def run_churn(
     steps: int = 8,
     connections: int = 8,
     shutdown: bool = False,
+    connect_timeout: float | None = 10.0,
+    request_timeout: float | None = 120.0,
+    transport_retries: int = 1,
 ) -> dict:
     """Replay mutation traces through stateful sessions, one per scenario.
 
@@ -332,45 +471,57 @@ async def run_churn(
     """
     connections = max(1, min(int(connections), len(specs) or 1))
     clients = await asyncio.gather(
-        *(ServiceClient.connect(host, port) for _ in range(connections))
+        *(ServiceClient.connect(host, port, connect_timeout=connect_timeout,
+                                request_timeout=request_timeout)
+          for _ in range(connections))
     )
     bodies: dict[str, str] = {}
     errors: list[dict] = []
     lost: list[dict] = []
     latencies: list[float] = []
+    transport_counters: dict[str, int] = {"retried": 0, "failed": 0}
 
-    def fail(sid: str, op: str, error) -> None:
+    def fail(sid: str, op: str, resp: dict) -> None:
         # "session lost" is the recovery-observable failure class: a shard
         # crashed and (journaling off, or replay exhausted/diverged) the
         # session could not be rebuilt.  Classify it apart from generic
-        # failures so the recovery rate is readable off the report.
-        record = {"session": sid, "op": op, "error": error}
+        # failures — and flag pure wire deaths (``transport``) apart from
+        # server-reported errors — so the recovery rate is readable off the
+        # report.
+        error = resp.get("error")
+        record = {"session": sid, "op": op, "error": error,
+                  **({"transport": True} if resp.get("transport_failed") else {})}
         (lost if "session lost" in str(error or "") else errors).append(record)
 
     async def drive(client: ServiceClient, spec: dict, index: int) -> None:
         sid = f"churn-{index}"
+
+        async def call(message: dict) -> dict:
+            return await _resilient_call(
+                client, message, transport_counters, transport_retries)
+
         t0 = time.perf_counter()
-        opened = await client.open_stream(sid, spec)
+        opened = await call({"op": "open_stream", "session": sid, "scenario": spec})
         latencies.append(time.perf_counter() - t0)
         if not opened.get("ok"):
-            fail(sid, "open", opened.get("error"))
+            fail(sid, "open", opened)
             return
         bodies[f"{sid}@open"] = canonical_record(opened["snapshot"])
         for step in range(1, int(steps) + 1):
             t0 = time.perf_counter()
-            mutated = await client.mutate(sid, steps=1)
+            mutated = await call({"op": "mutate", "session": sid, "steps": 1})
             latencies.append(time.perf_counter() - t0)
             if not mutated.get("ok"):
-                fail(sid, f"mutate@{step}", mutated.get("error"))
+                fail(sid, f"mutate@{step}", mutated)
                 return
-            snap = await client.snapshot(sid)
+            snap = await call({"op": "snapshot", "session": sid})
             if not snap.get("ok"):
-                fail(sid, f"snapshot@{step}", snap.get("error"))
+                fail(sid, f"snapshot@{step}", snap)
                 return
             bodies[f"{sid}@{step}"] = canonical_record(snap["snapshot"])
-        closed = await client.close_stream(sid)
+        closed = await call({"op": "close_stream", "session": sid})
         if not closed.get("ok"):
-            fail(sid, "close", closed.get("error"))
+            fail(sid, "close", closed)
             return
         bodies[f"{sid}@close"] = canonical_record(closed["snapshot"])
 
@@ -403,6 +554,8 @@ async def run_churn(
         "latency": latency_summary(latencies),
         "errors": errors,
         "lost_sessions": lost,
+        "transport": {"retried_ops": transport_counters["retried"],
+                      "failed_ops": transport_counters["failed"]},
         # server-side per-op latency brackets (stream ops have no single
         # client-side counterpart sample, so no agreement check here)
         "server_latency": {

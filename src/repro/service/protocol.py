@@ -51,6 +51,7 @@ from ..runtime import ALGORITHMS, COST_DISTS, FAMILIES, WEIGHT_DISTS, Scenario
 __all__ = [
     "PROTOCOL_VERSION",
     "CONTROL_OPS",
+    "ROUTER_OPS",
     "STREAM_OPS",
     "ProtocolError",
     "scenario_from_spec",
@@ -64,7 +65,11 @@ PROTOCOL_VERSION = 2
 
 CONTROL_OPS = ("ping", "stats", "shutdown")
 
-STREAM_OPS = ("open_stream", "mutate", "snapshot", "close_stream")
+STREAM_OPS = ("open_stream", "mutate", "snapshot", "close_stream", "restore_stream")
+
+#: ops only the ring router (``repro route``) serves; accepted at parse time
+#: so a router speaks the same wire grammar, rejected by plain servers
+ROUTER_OPS = ("drain_host",)
 
 #: hard cap on client-chosen session ids — they are dict keys server-side
 _MAX_SESSION_ID = 128
@@ -153,10 +158,9 @@ def parse_request(line: bytes) -> dict:
     if not isinstance(req, dict):
         raise ProtocolError("request must be a JSON object")
     op = req.get("op")
-    if op is not None and op not in CONTROL_OPS + STREAM_OPS:
-        raise ProtocolError(
-            f"unknown op {op!r} (have {', '.join(CONTROL_OPS + STREAM_OPS)})"
-        )
+    known = CONTROL_OPS + STREAM_OPS + ROUTER_OPS
+    if op is not None and op not in known:
+        raise ProtocolError(f"unknown op {op!r} (have {', '.join(known)})")
     if op is None and "scenario" not in req:
         raise ProtocolError("request needs a 'scenario' (or an 'op')")
     return req
@@ -185,6 +189,30 @@ def stream_request_fields(req: dict) -> dict:
         if spec.setdefault("algorithm", "stream") != "stream":
             raise ProtocolError("open_stream scenarios must use algorithm 'stream'")
         out["scenario"] = scenario_from_spec(spec)
+    elif op == "restore_stream":
+        # the cross-host handoff op: (scenario, base fingerprint, journal
+        # ops) shipped by the ring router from a dead host's journal
+        spec = req.get("scenario")
+        if not isinstance(spec, dict):
+            raise ProtocolError("restore_stream needs a 'scenario' object")
+        spec = dict(spec)
+        if spec.setdefault("algorithm", "stream") != "stream":
+            raise ProtocolError("restore_stream scenarios must use algorithm 'stream'")
+        out["scenario"] = scenario_from_spec(spec)
+        base = req.get("base")
+        if base is not None and not isinstance(base, dict):
+            raise ProtocolError("restore_stream 'base' must be an object or null")
+        out["base"] = base
+        ops = req.get("ops", [])
+        if not isinstance(ops, list):
+            raise ProtocolError("restore_stream 'ops' must be a list")
+        for index, entry in enumerate(ops):
+            if not isinstance(entry, dict) or not ("steps" in entry or "mutations" in entry):
+                raise ProtocolError(
+                    f"restore_stream op {index + 1} must be an object "
+                    f"with 'steps' or 'mutations'"
+                )
+        out["ops"] = ops
     elif op == "mutate":
         if "mutations" in req:
             muts = req["mutations"]

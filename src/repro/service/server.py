@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import pathlib
+import random
 from collections import defaultdict
 from time import perf_counter
 
@@ -47,7 +48,16 @@ from .protocol import (
 )
 from .shards import ShardPool
 
-__all__ = ["DecompositionService", "ServiceError", "serve"]
+__all__ = [
+    "DecompositionService",
+    "ServiceError",
+    "run_line_server",
+    "serve",
+    "timed_request_handler",
+]
+
+#: ceiling on the jittered exponential backoff between recovery attempts
+_RECOVERY_BACKOFF_CAP_S = 1.0
 
 
 class ServiceError(Exception):
@@ -82,6 +92,7 @@ class DecompositionService:
         journal_dir=None,
         recovery: bool = True,
         recovery_attempts: int = 3,
+        recovery_backoff_s: float = 0.05,
         slow_request_s: float | None = None,
     ):
         self.cache = ColoringCache(maxsize=cache_size, max_bytes=cache_max_bytes)
@@ -112,6 +123,10 @@ class DecompositionService:
                 raise
         self.recovery = bool(recovery) and self.journal is not None
         self.recovery_attempts = max(1, int(recovery_attempts))
+        #: base delay of the jittered exponential backoff between recovery
+        #: attempts — a shard that keeps dying (bad native lib, OOM loop)
+        #: must not be respawn-hammered by a tight replay/retry loop
+        self.recovery_backoff_s = max(0.0, float(recovery_backoff_s))
         #: streaming sessions: id -> {"shard": owner, "lock": per-session
         #: ordering lock, "last_used": loop time}.  The shard is pinned at
         #: open time (instance-hash routing), so a session's state stays
@@ -128,6 +143,9 @@ class DecompositionService:
         self.sessions_lost = 0
         self.sessions_expired = 0
         self.sessions_recovered = 0
+        #: sessions rebuilt here from *another* host's journal (the ring
+        #: router's ``restore_stream`` handoff op)
+        self.sessions_restored = 0
         #: directory npz refs are confined to; None disables them entirely —
         #: a remote peer must not get to open arbitrary server-side paths
         self.npz_root = pathlib.Path(npz_root).resolve() if npz_root is not None else None
@@ -265,6 +283,8 @@ class DecompositionService:
                 raise ServiceError(outcome.get("error", "open failed"))
             self.sessions_opened += 1
             return {"ok": True, "session": sid, "snapshot": outcome["snapshot"]}
+        if op == "restore_stream":
+            return await self._restore_from_handoff(sid, fields)
         entry = self._sessions.get(sid)
         if entry is None:
             raise ProtocolError(f"unknown session {sid!r}")
@@ -310,6 +330,76 @@ class DecompositionService:
         # "state" is the journal's fingerprint, not part of the wire contract
         return {"ok": True, "session": sid,
                 **{k: v for k, v in outcome.items() if k not in ("ok", "state")}}
+
+    async def _restore_from_handoff(self, sid: str, fields: dict) -> dict:
+        """Adopt a session handed off from another host (``restore_stream``).
+
+        The ring router drives this after a host death or drain: it reads
+        the dead owner's journal off shared storage and ships (scenario,
+        base fingerprint, op log) here.  The owning worker replays the log
+        with full fingerprint verification (byte-identity or
+        :class:`~repro.stream.ReplayError`), the session registers exactly
+        like an open, and — when this server journals — the replayed log is
+        re-journaled locally, so the *next* failover can hand the session
+        off again.  Idempotent: a retried handoff replaces any half-adopted
+        entry an earlier attempt left behind.
+        """
+        scenario = fields["scenario"]
+        self._authorize(scenario)
+        if sid not in self._sessions and len(self._sessions) >= self.max_sessions:
+            await self._expire_idle_sessions()
+            if len(self._sessions) >= self.max_sessions:
+                raise ProtocolError(f"session limit reached ({self.max_sessions})")
+        shard = self.pool.shard_for(scenario)
+        entry = {
+            "shard": shard,
+            "scenario": scenario,
+            "lock": asyncio.Lock(),
+            "last_used": asyncio.get_running_loop().time(),
+            "pending": 0,
+        }
+        self._sessions[sid] = entry
+        base = fields.get("base")
+        ops = fields["ops"]
+        async with entry["lock"]:
+            outcome = await self.pool.submit_session(shard, {
+                "op": "restore", "session": sid, "scenario": scenario,
+                "base": base, "ops": ops,
+            })
+            if outcome.get("ok") and self.journal is not None:
+                # re-journal the adopted log so this host can hand the
+                # session off in turn (chained failovers A -> B -> C); the
+                # journal entries round-trip verbatim — each op already
+                # carries its steps/mutations and fingerprint stamp
+                try:
+                    self.journal.create(sid, {"scenario": scenario.spec(),
+                                              "base": base})
+                    for op_entry in ops:
+                        self.journal.append(sid, op_entry)
+                except OSError as exc:
+                    self.journal.delete(sid)
+                    await self.pool.submit_session(
+                        shard, {"op": "close", "session": sid}
+                    )
+                    outcome = {"ok": False,
+                               "error": f"journal unavailable: {exc}"}
+        if not outcome.get("ok"):
+            self._sessions.pop(sid, None)
+            if self._state_lost(outcome):
+                self.sessions_lost += 1
+            raise ServiceError(outcome.get("error", "restore failed"))
+        self.sessions_restored += 1
+        events.emit("session.handoff_in", session=sid, replayed=len(ops))
+        obs_registry().counter("sessions_handed_in").inc()
+        reply = {"ok": True, "session": sid, "restored": True,
+                 "replayed": int(outcome.get("replayed", len(ops)))}
+        if outcome.get("last_results") is not None:
+            # per-step results of the final replayed op — what lets the
+            # router answer a journaled-but-unacknowledged mutate without
+            # re-applying it (replay is deterministic, so these bytes equal
+            # the reply the dead host never delivered)
+            reply["last_results"] = outcome["last_results"]
+        return reply
 
     async def _locked_session_op(self, op: str, sid: str, entry: dict,
                                  fields: dict, payload: dict) -> dict:
@@ -389,10 +479,14 @@ class DecompositionService:
         owning shard via the worker's ``restore`` op, verifying the
         journal's per-op fingerprints, and re-submits the interrupted
         request against the recovered state.  A crash *during* replay or
-        between replay and retry simply loops (each attempt respawns the
-        shard); after ``recovery_attempts`` failures — or on a diverged or
-        unreadable journal, which retrying cannot fix — the original lost
-        outcome is returned and the caller surfaces the loss.
+        between replay and retry loops around (each attempt respawns the
+        shard), but never tightly: attempts are hard-capped at
+        ``recovery_attempts`` and separated by jittered exponential backoff
+        (base ``recovery_backoff_s``, capped at 1s), with a typed
+        ``session.recovery_retry`` event per failed attempt.  After the cap
+        — or on a diverged or unreadable journal, which retrying cannot fix
+        — the original lost outcome is returned and the caller surfaces the
+        loss.
         """
         from ..stream import JournalError
 
@@ -407,20 +501,35 @@ class DecompositionService:
             "base": header.get("base"),
             "ops": ops,
         }
-        for _ in range(self.recovery_attempts):
+        delay = self.recovery_backoff_s
+        for attempt in range(1, self.recovery_attempts + 1):
+            if attempt > 1 and delay > 0:
+                await asyncio.sleep(delay * random.uniform(0.5, 1.5))
+                delay = min(delay * 2.0, _RECOVERY_BACKOFF_CAP_S)
             restored = await self.pool.submit_session(entry["shard"], restore)
             if self._state_lost(restored):
-                continue  # killed mid-replay; the pool respawned, go again
+                # killed mid-replay; the pool respawned, go again (after
+                # backing off — see above)
+                self._note_recovery_retry(sid, attempt, "killed during replay")
+                continue
             if not restored.get("ok"):
                 return lost_outcome  # diverged/corrupt: retrying cannot help
             retried = await self.pool.submit_session(entry["shard"], payload)
             if self._state_lost(retried):
-                continue  # killed between replay and retry; replay again
+                self._note_recovery_retry(
+                    sid, attempt, "killed between replay and retry")
+                continue
             self.sessions_recovered += 1
-            events.emit("session.recovered", session=sid, replayed_ops=len(ops))
+            events.emit("session.recovered", session=sid,
+                        replayed_ops=len(ops), attempts=attempt)
             obs_registry().counter("sessions_recovered").inc()
             return retried
         return lost_outcome
+
+    def _note_recovery_retry(self, sid: str, attempt: int, reason: str) -> None:
+        events.emit("session.recovery_retry", session=sid, attempt=attempt,
+                    max_attempts=self.recovery_attempts, reason=reason)
+        obs_registry().counter("session_recovery_retries").inc()
 
     async def _expire_idle_sessions(self) -> None:
         """Close sessions idle beyond ``session_ttl`` to free their slots.
@@ -524,6 +633,7 @@ class DecompositionService:
                 "lost": self.sessions_lost,
                 "expired": self.sessions_expired,
                 "recovered": self.sessions_recovered,
+                "restored": self.sessions_restored,
             },
             **({"journal": self.journal.stats()} if self.journal is not None else {}),
         }
@@ -550,6 +660,10 @@ async def _dispatch(service: DecompositionService, req: dict, stop: asyncio.Even
     try:
         if op == "stats":
             return {"id": rid, "ok": True, "stats": await service.stats_async()}
+        if op == "drain_host":
+            return {"id": rid, "ok": False,
+                    "error": "drain_host is only served by the ring router "
+                             "(repro route)"}
         if op in STREAM_OPS:
             out = await service.stream_request(op, req)
             return {"id": rid, **out}
@@ -565,64 +679,85 @@ async def _dispatch(service: DecompositionService, req: dict, stop: asyncio.Even
     return {"id": rid, "ok": True, "record": record}
 
 
-async def _handle_request(service: DecompositionService, req: dict, stop: asyncio.Event) -> dict:
-    """Dispatch one request, timing it into the per-op latency histogram.
+def timed_request_handler(dispatch, get_slow_request_s=None):
+    """Wrap a dispatch coroutine with the wire-envelope duties every
+    front-end shares (the plain server and the ring router): trace-id
+    validation and echo, per-op ``request_seconds`` histograms, error
+    counters, and slow-request events.
 
     An optional client-sent ``trace`` id is echoed back in the response
     envelope (and stamped on slow-request events), so a caller can stitch
     its own request ids to server-side telemetry across the pipelined
     wire.  The echo lives *next to* the record/snapshot fields, never
     inside them — byte-identity of the bodies maps is untouched.
+
+    ``get_slow_request_s`` is a zero-arg callable read per request (the
+    threshold is a mutable service attribute); None disables the classifier.
     """
-    trace = req.get("trace")
-    if trace is not None and (not isinstance(trace, str) or not trace
-                              or len(trace) > _MAX_TRACE_ID):
-        return {"id": req.get("id"), "ok": False,
-                "error": f"trace must be a non-empty string of at most "
-                         f"{_MAX_TRACE_ID} characters"}
-    op = req.get("op") or "decompose"
-    t0 = perf_counter()
-    resp = await _dispatch(service, req, stop)
-    dt = perf_counter() - t0
-    if telemetry_enabled():
-        reg = obs_registry()
-        reg.histogram("request_seconds", op=op).observe(dt)
-        if not resp.get("ok"):
-            reg.counter("request_errors", op=op).inc()
-    slow = service.slow_request_s
-    if slow is not None and dt >= slow:
-        events.emit("request.slow", op=op, id=req.get("id"), trace=trace,
-                    ms=round(dt * 1000.0, 3), ok=bool(resp.get("ok")))
-    if trace is not None:
-        resp["trace"] = trace
-    return resp
+
+    async def handle(req: dict, stop: asyncio.Event) -> dict:
+        trace = req.get("trace")
+        if trace is not None and (not isinstance(trace, str) or not trace
+                                  or len(trace) > _MAX_TRACE_ID):
+            return {"id": req.get("id"), "ok": False,
+                    "error": f"trace must be a non-empty string of at most "
+                             f"{_MAX_TRACE_ID} characters"}
+        op = req.get("op") or "decompose"
+        t0 = perf_counter()
+        resp = await dispatch(req, stop)
+        dt = perf_counter() - t0
+        if telemetry_enabled():
+            reg = obs_registry()
+            reg.histogram("request_seconds", op=op).observe(dt)
+            if not resp.get("ok"):
+                reg.counter("request_errors", op=op).inc()
+        slow = get_slow_request_s() if get_slow_request_s is not None else None
+        if slow is not None and dt >= slow:
+            events.emit("request.slow", op=op, id=req.get("id"), trace=trace,
+                        ms=round(dt * 1000.0, 3), ok=bool(resp.get("ok")))
+        if trace is not None:
+            resp["trace"] = trace
+        return resp
+
+    return handle
 
 
-async def serve(
-    service: DecompositionService,
+async def _handle_request(service: DecompositionService, req: dict, stop: asyncio.Event) -> dict:
+    """One-shot form of :func:`timed_request_handler` over ``_dispatch``."""
+    handler = timed_request_handler(
+        lambda r, s: _dispatch(service, r, s),
+        get_slow_request_s=lambda: service.slow_request_s,
+    )
+    return await handler(req, stop)
+
+
+async def run_line_server(
+    handle,
     host: str = "127.0.0.1",
     port: int = 8642,
+    *,
     ready=None,
     idle_timeout: float | None = None,
-    on_close=None,
+    metrics_collect=None,
     metrics_port: int | None = None,
     metrics_ready=None,
+    on_stop=None,
 ) -> None:
-    """Run the TCP front-end until a ``shutdown`` request (or cancellation).
+    """Run a JSON-lines TCP front-end until a handler sets the stop event.
+
+    The transport layer both ``repro serve`` and the ring router run on:
+    pipelined requests (responses matched by id, not order), per-connection
+    write lock, idle reaping, oversized-line rejection, and graceful
+    shutdown with a 5s drain grace.  ``handle(req, stop)`` is the request
+    handler — it sets ``stop`` to initiate shutdown (the ``shutdown`` op).
 
     ``ready`` is an optional callback invoked with the bound ``(host, port)``
-    once the socket is listening — tests and ``repro serve`` use it to learn
-    the ephemeral port when ``port=0``.
+    once the socket is listening — tests and the CLI use it to learn the
+    ephemeral port when ``port=0``.
 
-    ``on_close`` is an optional callback invoked with the final stats
-    document (including the oracle-cache tier) after the listener stops but
-    before the shard pool shuts down — ``repro serve`` logs it.
-
-    ``metrics_port`` additionally serves Prometheus text format on
-    ``GET /metrics`` (same host, separate listener; 0 binds an ephemeral
-    port reported through ``metrics_ready``).  Scrapes render merged
-    telemetry snapshots — read-only, so a concurrent scrape can never
-    perturb request results.
+    ``metrics_collect`` (an async callable returning Prometheus text)
+    enables a ``GET /metrics`` listener on ``metrics_port`` (same host; 0
+    binds an ephemeral port reported through ``metrics_ready``).
 
     ``idle_timeout`` (seconds) reaps connections with no traffic: a client
     that neither sends a request nor has one in flight for that long is
@@ -630,6 +765,9 @@ async def serve(
     is the normal connection teardown, which drains pipelined responders),
     and any request — ``ping`` is the designated no-op — resets the clock,
     so long-lived streaming clients stay alive by heartbeating.
+
+    ``on_stop`` is an optional async callable awaited after the listener
+    has stopped and connections drained — the owner's teardown hook.
     """
     stop = asyncio.Event()
     connections: set[asyncio.Task] = set()
@@ -642,7 +780,7 @@ async def serve(
         tasks: set[asyncio.Task] = set()
 
         async def respond(req: dict) -> None:
-            resp = await _handle_request(service, req, stop)
+            resp = await handle(req, stop)
             try:
                 async with write_lock:
                     writer.write(encode(resp))
@@ -714,20 +852,18 @@ async def serve(
     if ready is not None:
         ready(*bound)
     metrics_server = None
-    if metrics_port is not None:
-
-        async def collect() -> str:
-            return render_prometheus(await service.telemetry_snapshot())
-
-        metrics_server = await start_metrics_server(collect, host=host, port=metrics_port)
+    if metrics_collect is not None and metrics_port is not None:
+        metrics_server = await start_metrics_server(
+            metrics_collect, host=host, port=metrics_port
+        )
         if metrics_ready is not None:
             metrics_ready(*metrics_server.sockets[0].getsockname()[:2])
     try:
         await stop.wait()
     finally:
         if metrics_server is not None:
-            # stop scrapes first: a scrape after service.close() would ask
-            # dead shard executors for their snapshots
+            # stop scrapes first: a scrape after the owner's teardown would
+            # ask dead shard executors for their snapshots
             metrics_server.close()
         # close() only — Server.wait_closed() waits for every open handler
         # since 3.12.1, so one idle client would hang shutdown forever;
@@ -739,6 +875,42 @@ async def serve(
                 task.cancel()
             if pending:
                 await asyncio.wait(pending, timeout=1.0)
+        if on_stop is not None:
+            await on_stop()
+
+
+async def serve(
+    service: DecompositionService,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    ready=None,
+    idle_timeout: float | None = None,
+    on_close=None,
+    metrics_port: int | None = None,
+    metrics_ready=None,
+) -> None:
+    """Run the decomposition-service TCP front-end until a ``shutdown``
+    request (or cancellation).  Transport semantics (pipelining, idle
+    reaping, graceful drain) live in :func:`run_line_server`; this wires it
+    to a :class:`DecompositionService`.
+
+    ``on_close`` is an optional callback invoked with the final stats
+    document (including the oracle-cache tier) after the listener stops but
+    before the shard pool shuts down — ``repro serve`` logs it.
+
+    ``metrics_port`` additionally serves Prometheus text format on
+    ``GET /metrics``.  Scrapes render merged telemetry snapshots —
+    read-only, so a concurrent scrape can never perturb request results.
+    """
+    handle = timed_request_handler(
+        lambda req, stop: _dispatch(service, req, stop),
+        get_slow_request_s=lambda: service.slow_request_s,
+    )
+
+    async def collect() -> str:
+        return render_prometheus(await service.telemetry_snapshot())
+
+    async def on_stop() -> None:
         if on_close is not None:
             # the workers are still alive here, so the stats document can
             # include their oracle-cache counters one last time
@@ -749,3 +921,15 @@ async def serve(
                 events.emit("server.close_stats_error",
                             error=f"{type(exc).__name__}: {exc}")
         await service.close()
+
+    await run_line_server(
+        handle,
+        host,
+        port,
+        ready=ready,
+        idle_timeout=idle_timeout,
+        metrics_collect=collect if metrics_port is not None else None,
+        metrics_port=metrics_port,
+        metrics_ready=metrics_ready,
+        on_stop=on_stop,
+    )

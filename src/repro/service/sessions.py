@@ -179,7 +179,11 @@ def session_call(payload: dict) -> dict:
             # entry a half-finished earlier attempt might have registered
             _SESSIONS[sid] = session
             return {"ok": True, "restored": True, "replayed": len(ops),
-                    "state": session.fingerprint()}
+                    "state": session.fingerprint(),
+                    # results of the final replayed op: a cross-host handoff
+                    # uses these to answer a journaled-but-unacknowledged
+                    # mutate without re-applying it
+                    "last_results": session.last_replay_results}
         session = _SESSIONS.get(sid)
         if session is None:
             # unknown_session lets the server distinguish "this worker lost

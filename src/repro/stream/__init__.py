@@ -28,7 +28,7 @@ other axis, and the service exposes sessions through
 ``open_stream``/``mutate``/``snapshot``/``close_stream`` requests.
 """
 
-from .journal import JournalError, JournalStore, read_journal
+from .journal import JournalError, JournalStore, journal_file_name, read_journal
 from .mutations import DirtyRegion, GraphState, Mutation, MutationError, replay
 from .repair import cheap_lower_bound, local_repair, restore_window, strict_window
 from .session import (
@@ -53,6 +53,7 @@ __all__ = [
     "ReplayError",
     "StreamSession",
     "cheap_lower_bound",
+    "journal_file_name",
     "local_repair",
     "make_trace",
     "read_journal",

@@ -36,7 +36,7 @@ import os
 import pathlib
 import re
 
-__all__ = ["JournalError", "JournalStore", "read_journal"]
+__all__ = ["JournalError", "JournalStore", "journal_file_name", "read_journal"]
 
 #: journal file suffix; the sweep only ever touches files matching this
 _SUFFIX = ".journal"
@@ -48,11 +48,20 @@ class JournalError(ValueError):
     """A missing, unreadable, or structurally invalid journal."""
 
 
-def _journal_name(session_id: str) -> str:
-    """Filesystem-safe, collision-free file name for one session id."""
+def journal_file_name(session_id: str) -> str:
+    """Filesystem-safe, collision-free file name for one session id.
+
+    Public because it is the *cross-host* naming contract: the ring router
+    locates a dead host's journal for a session purely by recomputing this
+    name under that host's journal directory on shared storage.
+    """
     slug = _SLUG_RE.sub("_", session_id)[:48] or "session"
     digest = hashlib.sha256(session_id.encode()).hexdigest()[:12]
     return f"{slug}-{digest}{_SUFFIX}"
+
+
+#: backwards-compatible private alias (pre-ring internal name)
+_journal_name = journal_file_name
 
 
 def read_journal(path) -> tuple[dict, list[dict]]:

@@ -135,6 +135,10 @@ class StreamSession:
         self.coloring: Coloring | None = None
         self.last_full_cost = 0.0
         self.steps_since_full = 0
+        #: per-step result dicts of the most recent replayed op (set by
+        #: :func:`replay_session`); lets a handoff synthesize the reply an
+        #: interrupted-but-journaled mutate never delivered
+        self.last_replay_results: list[dict] | None = None
         self._full_solve(initial=True)
 
     # ------------------------------------------------------------------
@@ -176,15 +180,15 @@ class StreamSession:
         batch = [Mutation.from_wire(m) for m in wire_mutations]
         return self._apply_batch(batch)
 
-    def replay_op(self, op: dict) -> None:
+    def replay_op(self, op: dict) -> list[dict]:
         """Re-execute one journaled mutate op (``{"steps": n}`` or
         ``{"mutations": [...]}``) — the recovery counterpart of the service's
-        mutate request shapes."""
+        mutate request shapes.  Returns the per-step result dicts the
+        original mutate reply carried (replay is deterministic, so they are
+        byte-identical to the originals)."""
         if "mutations" in op:
-            self.apply_mutations(op["mutations"])
-        else:
-            for _ in range(int(op.get("steps", 1))):
-                self.step()
+            return [self.apply_mutations(op["mutations"])]
+        return [self.step() for _ in range(int(op.get("steps", 1)))]
 
     def fingerprint(self) -> dict:
         """The ``(version, hash)`` pair journals stamp on every entry."""
@@ -331,7 +335,7 @@ def replay_session(instance, scenario, ops, base=None, on_op=None) -> StreamSess
     for index, op in enumerate(ops):
         if on_op is not None:
             on_op(index, session)
-        session.replay_op(op)
+        session.last_replay_results = session.replay_op(op)
         _check_fingerprint(session, op, f"op {index + 1}/{len(ops)}")
     return session
 

@@ -29,6 +29,15 @@ byte-identical to the uninterrupted run::
     PYTHONPATH=src python tests/faultinject.py --steps 8 \
         --kill-point mutate:before --kill-point mutate:after \
         --kill-point snapshot --kill-point restore      # the nightly sweep
+
+``--hosts N`` switches to the ring chaos job: N real ``repro serve``
+subprocesses behind a :class:`~repro.service.RingRouter`, one **whole
+host** SIGKILLed mid-churn.  The gates are the ring's zero-loss contract:
+no errors, no ``session lost``, at least one journal handoff, churn
+snapshot bodies byte-identical to an uninterrupted single-host run, and
+stateless decompose bodies identical across ring sizes 1 and N::
+
+    PYTHONPATH=src python tests/faultinject.py --hosts 3 --steps 5
 """
 
 from __future__ import annotations
@@ -40,10 +49,20 @@ import json
 import os
 import pathlib
 import signal
+import subprocess
 import sys
 import tempfile
+import threading
 
-from repro.service import DecompositionService, run_churn, serve
+from repro.service import (
+    DecompositionService,
+    RingRouter,
+    ServiceClient,
+    route_serve,
+    run_churn,
+    run_loadgen,
+    serve,
+)
 from repro.service.sessions import FAULT_PLAN_ENV, reset_fault_plan
 
 __all__ = [
@@ -51,6 +70,7 @@ __all__ = [
     "fired_count",
     "kill_shard_workers",
     "run_churn_service",
+    "spawn_serve_host",
     "stream_specs",
 ]
 
@@ -256,6 +276,215 @@ def run_chaos(points, *, shards: int, steps: int, kill_session: str,
     }
 
 
+# ----------------------------------------------------------------------
+# multi-host ring chaos (whole-host kills behind the router)
+
+#: a small stateless grid for the ring-size byte-identity gate
+RING_DECOMPOSE_SPECS = [
+    {"family": "grid", "size": 10, "k": 2},
+    {"family": "grid", "size": 10, "k": 4},
+    {"family": "mesh", "size": 10, "k": 2, "weights": "zipf"},
+    {"family": "grid", "size": 10, "k": 2, "algorithm": "greedy"},
+    {"family": "torus", "size": 10, "k": 4, "weights": "zipf"},
+]
+
+
+def spawn_serve_host(journal_dir, *, shards: int = 0, max_wait_ms: float = 1.0):
+    """Spawn one real ``repro serve`` host subprocess on an ephemeral port.
+
+    Returns ``(proc, endpoint)`` once the host prints its bound address.
+    ``shards=0`` keeps each host single-process (the chaos subject is the
+    *host*, killed whole — no orphaned worker processes to leak when it is
+    SIGKILLed).
+    """
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] \
+        if env.get("PYTHONPATH") else src
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--shards", str(shards), "--max-wait-ms", str(max_wait_ms),
+         "--journal-dir", str(journal_dir)],
+        stderr=subprocess.PIPE, text=True, env=env,
+    )
+    endpoint = None
+    for line in proc.stderr:
+        if "listening on " in line:
+            endpoint = line.split("listening on ", 1)[1].split()[0]
+            break
+    if endpoint is None:
+        proc.kill()
+        proc.wait()
+        raise RuntimeError("serve host exited before binding a port")
+    # keep draining stderr so the host can never block on a full pipe
+    threading.Thread(target=proc.stderr.read, daemon=True).start()
+    return proc, endpoint
+
+
+async def _route_run(endpoints, journal_dirs, run_fn, *, retries=1, kill=None):
+    """Serve a RingRouter over ``endpoints`` and drive ``run_fn`` at it.
+
+    ``run_fn(host, port)`` must finish with a ``shutdown`` op (the loadgen
+    ``shutdown=True`` path) — that stops ``route_serve``; the router never
+    propagates it, so the backend hosts survive for the next phase.
+    """
+    router = RingRouter(
+        endpoints, journal_dirs=journal_dirs, retries=retries,
+        backoff_base_s=0.02, propagate_shutdown=False,
+    )
+    ready = asyncio.Event()
+    bound = {}
+
+    def _ready(host, port):
+        bound.update(host=host, port=port)
+        ready.set()
+
+    task = asyncio.create_task(route_serve(router, port=0, ready=_ready))
+    await asyncio.wait_for(ready.wait(), 30)
+    killer = asyncio.create_task(kill(router)) if kill is not None else None
+    try:
+        out = await run_fn(bound["host"], bound["port"])
+    finally:
+        if killer is not None and not killer.done():
+            killer.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await killer
+    await asyncio.wait_for(task, 60)
+    return router, out
+
+
+async def _shutdown_host(endpoint: str) -> None:
+    host, _, port = endpoint.rpartition(":")
+    with contextlib.suppress(OSError, asyncio.TimeoutError):
+        client = await ServiceClient.connect(
+            host, int(port), connect_timeout=5.0, request_timeout=5.0)
+        try:
+            await client.shutdown()
+        finally:
+            await client.close()
+
+
+def run_host_chaos(*, hosts: int, steps: int, connections: int,
+                   kill_session: str = "churn-0") -> dict:
+    """Kill one whole serve host mid-churn behind the ring router.
+
+    Two phases against the same host fleet: (1) stateless decompose through
+    a ring of all N hosts and a ring of 1 — the bodies must be identical
+    (placement is invisible in results); (2) churn with the owner of
+    ``kill_session`` SIGKILLed at roughly a quarter of the op budget — the
+    router must hand its sessions off by journal replay with zero loss and
+    bodies byte-identical to an uninterrupted single-host baseline.
+    """
+    specs = stream_specs(steps)
+    print(f"ring-chaos: baseline churn, {len(specs)} session(s) x {steps} "
+          f"step(s), single host (uninterrupted)", file=sys.stderr)
+    baseline = run_churn_service(specs, steps, shards=0, connections=connections)
+    if baseline["report"]["errors"] or baseline["report"]["lost_sessions"]:
+        raise SystemExit(
+            f"ring-chaos: baseline run failed: {baseline['report']['errors']} "
+            f"{baseline['report']['lost_sessions']}")
+    with tempfile.TemporaryDirectory(prefix="repro-ring-chaos-") as scratch:
+        scratch = pathlib.Path(scratch)
+        procs, endpoints, journal_dirs = [], [], {}
+        try:
+            for index in range(hosts):
+                journal_dir = scratch / f"host{index}-journals"
+                proc, endpoint = spawn_serve_host(journal_dir)
+                procs.append(proc)
+                endpoints.append(endpoint)
+                journal_dirs[endpoint] = journal_dir
+            print(f"ring-chaos: {hosts} host(s) up: {', '.join(endpoints)}",
+                  file=sys.stderr)
+
+            # phase 1: ring-size byte-identity for stateless requests
+            async def decompose(host, port):
+                return await run_loadgen(host, port, RING_DECOMPOSE_SPECS,
+                                         connections=2, passes=1, shutdown=True)
+
+            _, ring_n = asyncio.run(
+                _route_run(endpoints, journal_dirs, decompose))
+            _, ring_1 = asyncio.run(
+                _route_run(endpoints[:1], journal_dirs, decompose))
+            ring_invariant = ring_n["bodies"] == ring_1["bodies"] \
+                and not ring_n["report"]["errors"] \
+                and not ring_1["report"]["errors"]
+            print(f"ring-chaos: decompose ring={hosts} vs ring=1 "
+                  f"byte-identical={ring_invariant}", file=sys.stderr)
+
+            # phase 2: churn with the owner of kill_session SIGKILLed
+            victim_box: dict = {}
+
+            async def kill(router):
+                # target the session's *recorded* owner (not recomputed ring
+                # math — they can diverge if a host was transiently marked
+                # down), and trigger on that session's own progress so the
+                # kill always lands mid-session, with journaled ops to
+                # replay and ops still to come
+                while True:
+                    entry = router._sessions.get(kill_session)
+                    if entry is not None and entry["mutates_acked"] >= 1:
+                        break
+                    await asyncio.sleep(0.001)
+                # no await between reading the entry and the kill: the
+                # session cannot move or close in between
+                victim = entry["endpoint"]
+                proc = procs[endpoints.index(victim)]
+                proc.kill()
+                victim_box["endpoint"] = victim
+                victim_box["acked_at_kill"] = entry["mutates_acked"]
+                victim_box["returncode"] = proc.wait()
+                print(f"ring-chaos: killed host {victim} after "
+                      f"{entry['mutates_acked']} acked mutate(s) on "
+                      f"{kill_session}", file=sys.stderr)
+
+            async def churn(host, port):
+                return await run_churn(host, port, specs, steps=steps,
+                                       connections=connections, shutdown=True)
+
+            router, out = asyncio.run(
+                _route_run(endpoints, journal_dirs, churn, kill=kill))
+        finally:
+            for proc, endpoint in zip(procs, endpoints):
+                if proc.poll() is None:
+                    asyncio.run(_shutdown_host(endpoint))
+                try:
+                    proc.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+    report = out["report"]
+    identical = out["bodies"] == baseline["bodies"]
+    verdict = {
+        "hosts": hosts,
+        "steps": steps,
+        "sessions": len(specs),
+        "kill_session": kill_session,
+        "victim": victim_box.get("endpoint"),
+        "victim_killed": victim_box.get("returncode") is not None,
+        "acked_mutates_at_kill": victim_box.get("acked_at_kill"),
+        "hosts_down_after": sorted(router.down),
+        "errors": len(report["errors"]),
+        "lost_sessions": len(report["lost_sessions"]),
+        "handoffs": router.handoffs,
+        "transport": report["transport"],
+        "bodies_identical_to_baseline": identical,
+        "decompose_ring_invariant": ring_invariant,
+    }
+    verdict["ok"] = (
+        verdict["victim_killed"]
+        and not report["errors"]
+        and not report["lost_sessions"]
+        and router.handoffs >= 1
+        and identical
+        and ring_invariant
+    )
+    print(f"ring-chaos: victim_killed={verdict['victim_killed']}, "
+          f"handoffs={router.handoffs}, errors={verdict['errors']}, "
+          f"lost={verdict['lost_sessions']}, byte-identical={identical} -> "
+          f"{'ok' if verdict['ok'] else 'FAIL'}", file=sys.stderr)
+    return verdict
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="chaos harness: kill shard workers mid-churn and require "
@@ -263,6 +492,10 @@ def main(argv=None) -> int:
         "byte-for-byte")
     parser.add_argument("--shards", type=int, default=4,
                         help="shard count for the chaos runs (default 4)")
+    parser.add_argument("--hosts", type=int,
+                        help="ring mode: run this many real serve host "
+                        "subprocesses behind a RingRouter and SIGKILL one "
+                        "whole host mid-churn (ignores --shards/--kill-point)")
     parser.add_argument("--steps", type=int, default=5,
                         help="mutate steps per session (default 5)")
     parser.add_argument("--connections", type=int, default=2)
@@ -276,6 +509,21 @@ def main(argv=None) -> int:
                         "(default: mid-run, steps//2)")
     parser.add_argument("-o", "--output", help="write the chaos report JSON here")
     args = parser.parse_args(argv)
+    if args.hosts is not None:
+        if args.hosts < 2:
+            raise SystemExit("ring chaos needs --hosts >= 2: a failover "
+                             "requires a surviving host to hand off to")
+        report = run_host_chaos(hosts=args.hosts, steps=args.steps,
+                                connections=args.connections,
+                                kill_session=args.kill_session)
+        if args.output:
+            out = pathlib.Path(args.output)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+            print(f"wrote {out}", file=sys.stderr)
+        print(f"ring-chaos: {'ok' if report['ok'] else 'FAILED'}",
+              file=sys.stderr)
+        return 0 if report["ok"] else 1
     if args.shards < 1:
         raise SystemExit("chaos needs process shards (--shards >= 1): the "
                          "inline worker is a thread and cannot be killed")

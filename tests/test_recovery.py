@@ -16,6 +16,7 @@ Three layers, cheapest first:
 """
 
 import asyncio
+import contextlib
 import json
 
 import pytest
@@ -29,8 +30,10 @@ from faultinject import (
 from repro.runtime import Scenario, build_instance
 from repro.service import (
     DecompositionService,
+    RingRouter,
     ServiceClient,
     ShardPool,
+    canonical_record,
     serve,
 )
 from repro.service import sessions as worker_sessions
@@ -39,6 +42,7 @@ from repro.stream import (
     JournalStore,
     ReplayError,
     StreamSession,
+    journal_file_name,
     read_journal,
     replay_session,
 )
@@ -815,3 +819,90 @@ class TestProcessCrashRecovery:
         assert report["errors"] == [] and report["lost_sessions"] == []
         assert report["recovered_sessions"] >= 1
         assert out["bodies"] == baseline
+
+
+# ----------------------------------------------------------------------
+class TestTornTailHandoff:
+    """Satellite of the multi-host ring: a journal whose final record was
+    torn mid-append (the owning host died mid-write) must hand off
+    deterministically at the longest valid prefix — the restored session is
+    byte-identical to the dead host's state after its last durable op."""
+
+    def test_truncated_final_record_restores_longest_prefix(self, tmp_path):
+        async def run():
+            journal_dir = tmp_path / "dead-host"
+            service = DecompositionService(shards=0, max_wait_ms=1.0,
+                                           journal_dir=journal_dir)
+            task, host, port = await start_server(service)
+            client = await ServiceClient.connect(host, port)
+            assert (await client.open_stream("torn", STREAM_SPEC))["ok"]
+            await client.mutate("torn", steps=1)
+            await client.mutate("torn", steps=1)
+            reference = await client.snapshot("torn")
+            await client.mutate("torn", steps=1)
+            await client.close()
+            task.cancel()  # host death: the journal survives on disk
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+            path = journal_dir / journal_file_name("torn")
+            lines = path.read_bytes().split(b"\n")
+            assert lines[-1] == b"" and len(lines) == 5  # header + 3 ops
+            path.write_bytes(b"\n".join(lines[:3]) + b"\n"
+                             + lines[3][: len(lines[3]) // 2])
+            header, ops = read_journal(path)
+            assert len(ops) == 2  # the torn third mutate never happened
+            # hand the prefix to a fresh host, exactly as the ring router
+            # would after reading the dead owner's journal
+            takeover = DecompositionService(shards=0, max_wait_ms=1.0,
+                                            journal_dir=tmp_path / "new-host")
+            task2, host2, port2 = await start_server(takeover)
+            client2 = await ServiceClient.connect(host2, port2)
+            try:
+                restored = await client2.call({
+                    "op": "restore_stream", "session": "torn",
+                    "scenario": header["scenario"], "base": header.get("base"),
+                    "ops": ops,
+                })
+                snap = await client2.snapshot("torn")
+                return reference, restored, snap
+            finally:
+                await client2.close()
+                await stop_server(task2, host2, port2)
+
+        reference, restored, snap = asyncio.run(run())
+        assert restored["ok"] and restored["restored"]
+        assert restored["replayed"] == 2
+        assert snap["ok"]
+        assert canonical_record(snap["snapshot"]) == canonical_record(
+            reference["snapshot"])
+
+    def test_truncation_is_deterministic_across_reads(self, tmp_path):
+        store = JournalStore(tmp_path)
+        store.create("t", {"scenario": STREAM_SPEC, "base": None})
+        store.append("t", {"steps": 1, "version": 1, "hash": "h1"})
+        path = store.path_for("t")
+        store.close()
+        with open(path, "a") as fh:
+            fh.write('{"kind": "mutate", "steps": 1, "vers')  # torn append
+        first = read_journal(path)
+        second = read_journal(path)
+        assert first == second and len(first[1]) == 1
+
+    def test_corrupt_terminated_tail_refuses_handoff(self, tmp_path):
+        # a newline-terminated corrupt line is damage to an acknowledged op,
+        # not a torn append: the router must refuse the handoff rather than
+        # silently under-replay the session
+        dead, live = "127.0.0.1:1", "127.0.0.1:2"
+        store = JournalStore(tmp_path)
+        store.create("bad", {"scenario": STREAM_SPEC, "base": None})
+        store.append("bad", {"steps": 1, "version": 1, "hash": "h1"})
+        path = store.path_for("bad")
+        store.close()
+        with open(path, "a") as fh:
+            fh.write('{"kind": "mutate", bad}\n')
+        router = RingRouter([dead, live], journal_dirs={dead: tmp_path})
+        router.down.add(dead)
+        entry = {"endpoint": dead, "lock": asyncio.Lock(), "mutates_acked": 1}
+        reply = asyncio.run(router._handoff_session("bad", entry, "mutate"))
+        assert not reply["ok"] and "session lost" in reply["error"]
+        assert "journal is unavailable" in reply["error"]

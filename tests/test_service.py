@@ -644,3 +644,142 @@ class TestServiceCli:
         with pytest.raises(SystemExit, match="unknown algorithm"):
             main(["loadgen", "--family", "grid", "--size", "8", "--k", "2",
                   "--algorithm", "nope"])
+
+
+class TestClientResilience:
+    """ServiceClient deadlines and reconnect-with-backoff, plus the
+    loadgen's transport-failure classification (`_resilient_call`)."""
+
+    @staticmethod
+    async def toy_server(fail_first_n: int):
+        """A line server whose first N connections close without replying;
+        later connections answer every request with ok."""
+        state = {"connections": 0}
+
+        async def handler(reader, writer):
+            state["connections"] += 1
+            if state["connections"] <= fail_first_n:
+                writer.close()
+                return
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                req = json.loads(line)
+                writer.write(
+                    (json.dumps({"id": req["id"], "ok": True}) + "\n").encode())
+                await writer.drain()
+            writer.close()
+
+        server = await asyncio.start_server(handler, "127.0.0.1", 0)
+        host, port = server.sockets[0].getsockname()[:2]
+        return server, host, port
+
+    def test_request_timeout_bounds_the_round_trip(self):
+        async def run():
+            async def black_hole(reader, writer):
+                await reader.read()  # consume forever, never reply
+
+            server = await asyncio.start_server(black_hole, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            client = await ServiceClient.connect(host, port, request_timeout=0.05)
+            try:
+                with pytest.raises(asyncio.TimeoutError):
+                    await client.ping()
+                # a per-call deadline overrides the client default
+                with pytest.raises(asyncio.TimeoutError):
+                    await client.call({"op": "ping"}, timeout=0.01)
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(run())
+
+    def test_reconnect_restores_a_dead_connection(self):
+        async def run():
+            server, host, port = await self.toy_server(fail_first_n=1)
+            client = await ServiceClient.connect(host, port)
+            try:
+                with pytest.raises(ConnectionError):
+                    await client.call({"op": "ping"})
+                await client.reconnect(attempts=2, base_delay_s=0.001)
+                return await client.call({"op": "ping"})
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        assert asyncio.run(run())["ok"]
+
+    def test_reconnect_requires_connect_and_bounds_attempts(self):
+        async def run():
+            server, host, port = await self.toy_server(fail_first_n=0)
+            reader, writer = await asyncio.open_connection(host, port)
+            bare = ServiceClient(reader, writer)  # no remembered address
+            with pytest.raises(ConnectionError, match="cannot reconnect"):
+                await bare.reconnect()
+            await bare.close()
+            client = await ServiceClient.connect(host, port)
+            server.close()
+            await server.wait_closed()
+            try:
+                with pytest.raises(ConnectionError, match="2 attempt"):
+                    await client.reconnect(attempts=2, base_delay_s=0.001)
+            finally:
+                await client.close()
+
+        asyncio.run(run())
+
+    def test_resilient_call_retries_transport_failures_once(self):
+        from repro.service.loadgen import _resilient_call
+
+        async def run():
+            server, host, port = await self.toy_server(fail_first_n=1)
+            client = await ServiceClient.connect(host, port)
+            counters = {"retried": 0, "failed": 0}
+            try:
+                resp = await _resilient_call(client, {"op": "ping"}, counters)
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            return resp, counters
+
+        resp, counters = asyncio.run(run())
+        assert resp["ok"]
+        assert counters == {"retried": 1, "failed": 0}
+
+    def test_resilient_call_classifies_exhaustion_as_transport(self):
+        from repro.service.loadgen import _resilient_call
+
+        async def run():
+            server, host, port = await self.toy_server(fail_first_n=99)
+            client = await ServiceClient.connect(host, port)
+            counters = {"retried": 0, "failed": 0}
+            try:
+                resp = await _resilient_call(
+                    client, {"op": "ping"}, counters, transport_retries=1)
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+            return resp, counters
+
+        resp, counters = asyncio.run(run())
+        assert not resp["ok"] and resp["transport_failed"]
+        assert resp["error"].startswith("transport:")
+        assert counters == {"retried": 1, "failed": 1}
+
+    def test_loadgen_report_carries_transport_block(self):
+        async def run():
+            service = DecompositionService(shards=0, max_wait_ms=1.0)
+            task, host, port = await start_server(service)
+            try:
+                return await run_loadgen(host, port, SPECS[:2],
+                                         connections=2, passes=1)
+            finally:
+                await stop_server(task, host, port)
+
+        report = asyncio.run(run())["report"]
+        assert report["transport"] == {"retried_ops": 0, "failed_ops": 0}

@@ -115,7 +115,7 @@ class TestStreamSessions:
         assert [s["version"] for s in snaps] == [0, 1, 2, 3]
         assert stats["sessions"] == {
             "open": 0, "max": 64, "opened": 1, "closed": 1, "lost": 0, "expired": 0,
-            "recovered": 0,
+            "recovered": 0, "restored": 0,
         }
 
     def test_snapshots_byte_identical_across_shard_counts(self):
