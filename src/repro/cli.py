@@ -163,8 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
     rt.add_argument("--retries", type=int, default=2,
                     help="per-request retry budget against one host before "
                     "it is marked down")
-    rt.add_argument("--request-timeout", type=float, default=30.0,
-                    help="per-hop request deadline in seconds")
+    rt.add_argument("--request-timeout", type=float, default=120.0,
+                    help="per-hop request deadline in seconds (default "
+                    "matches loadgen's 120s request deadline — a shorter "
+                    "hop deadline would mark healthy-but-slow hosts down)")
     rt.add_argument("--connect-timeout", type=float, default=5.0,
                     help="backend connection deadline in seconds")
     rt.add_argument("--backoff-ms", type=float, default=50.0,

@@ -69,7 +69,7 @@ STREAM_OPS = ("open_stream", "mutate", "snapshot", "close_stream", "restore_stre
 
 #: ops only the ring router (``repro route``) serves; accepted at parse time
 #: so a router speaks the same wire grammar, rejected by plain servers
-ROUTER_OPS = ("drain_host",)
+ROUTER_OPS = ("drain_host", "undrain_host")
 
 #: hard cap on client-chosen session ids — they are dict keys server-side
 _MAX_SESSION_ID = 128
@@ -213,6 +213,14 @@ def stream_request_fields(req: dict) -> dict:
                     f"with 'steps' or 'mutations'"
                 )
         out["ops"] = ops
+        # takeover: replace a live session of the same id (the ring
+        # router's handoff retries need this); plain restores get the same
+        # duplicate check as open_stream, so a client that knows a session
+        # id cannot clobber another client's live session
+        takeover = req.get("takeover", False)
+        if not isinstance(takeover, bool):
+            raise ProtocolError("restore_stream 'takeover' must be a boolean")
+        out["takeover"] = takeover
     elif op == "mutate":
         if "mutations" in req:
             muts = req["mutations"]

@@ -74,6 +74,35 @@ class HostDownError(ConnectionError):
     """A backend host could not be reached within the retry budget."""
 
 
+class ConnectFailed(ConnectionError):
+    """Connection establishment failed — the request was never sent.
+
+    The one failure class that is safe to retry for *any* op: a request
+    that never left the router cannot have been applied by the host.
+    Everything else (timeout, reset after the write, garbled reply) is
+    ambiguous — the host may have applied the op before the failure.
+    """
+
+
+def _message_idempotent(message: dict) -> bool:
+    """Whether re-sending ``message`` can never double-apply state.
+
+    ``mutate`` and ``open_stream`` change session state exactly once per
+    acknowledged request, so an ambiguous failure (the host may have
+    applied the op before the connection died) must NOT be retried
+    blindly — the journal-based handoff disambiguates instead.
+    ``restore_stream`` is idempotent only in takeover mode (a plain
+    restore is refused by the server when the session already exists, so
+    a blind re-send of an applied restore would fail spuriously).
+    """
+    op = message.get("op")
+    if op in ("open_stream", "mutate"):
+        return False
+    if op == "restore_stream":
+        return bool(message.get("takeover"))
+    return True
+
+
 def parse_endpoints(spec) -> list[str]:
     """Parse ``"host:port,host:port"`` (or an iterable) into endpoints."""
     parts = (
@@ -173,7 +202,7 @@ class BackendPool:
         endpoint: str,
         *,
         connect_timeout: float = 5.0,
-        request_timeout: float = 30.0,
+        request_timeout: float = 120.0,
         max_idle: int = 8,
     ):
         self.endpoint = endpoint
@@ -186,15 +215,27 @@ class BackendPool:
         self._idle: list[ServiceClient] = []
 
     async def request(self, message: dict) -> dict:
-        """One request/response round trip on a pooled connection."""
+        """One request/response round trip on a pooled connection.
+
+        Raises :class:`ConnectFailed` when the connection could not be
+        opened at all (the request was provably never sent); any other
+        failure happened after a live connection existed and is ambiguous
+        from the caller's point of view.
+        """
         if self._idle:
             client = self._idle.pop()
         else:
-            client = await ServiceClient.connect(
-                self.host, self.port,
-                connect_timeout=self.connect_timeout,
-                request_timeout=self.request_timeout,
-            )
+            try:
+                client = await ServiceClient.connect(
+                    self.host, self.port,
+                    connect_timeout=self.connect_timeout,
+                    request_timeout=self.request_timeout,
+                )
+            except (OSError, asyncio.TimeoutError) as exc:
+                raise ConnectFailed(
+                    f"connect to {self.endpoint} failed: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
         try:
             resp = await client.call(message)
         except BaseException:
@@ -236,7 +277,10 @@ class RingRouter:
         backoff_base_s: float = 0.05,
         backoff_cap_s: float = 1.0,
         connect_timeout: float = 5.0,
-        request_timeout: float = 30.0,
+        # matches loadgen's default request deadline: a hop deadline shorter
+        # than what clients legitimately wait for would mark healthy-but-slow
+        # hosts down and shrink the ring under load
+        request_timeout: float = 120.0,
         slow_request_s: float | None = None,
         propagate_shutdown: bool = True,
     ):
@@ -266,6 +310,11 @@ class RingRouter:
         self.slow_request_s = slow_request_s
         self.propagate_shutdown = bool(propagate_shutdown)
         self.down: set[str] = set()
+        #: hosts removed by an operator's drain_host — a subset of ``down``
+        #: that stays out of the ring until an explicit undrain_host, so a
+        #: background probe pinging a drained-but-healthy host cannot
+        #: silently undo the drain before the operator stops the process
+        self.drained: set[str] = set()
         self._sessions: dict[str, dict] = {}
         self.requests = 0
         self.forwarded = 0
@@ -296,9 +345,11 @@ class RingRouter:
 
         Only *new* placements go back to it: sessions already handed off
         stay with their adoptive owners (their journals moved with them),
-        so a flapping host never splits a session's history.
+        so a flapping host never splits a session's history.  Drained
+        hosts are refused — they answer pings while the operator works on
+        them, and only an explicit :meth:`undrain_host` un-drains.
         """
-        if endpoint not in self.down:
+        if endpoint not in self.down or endpoint in self.drained:
             return
         self.down.discard(endpoint)
         events.emit("host.up", host=endpoint)
@@ -310,9 +361,22 @@ class RingRouter:
         """One request to one host: pooled connection, per-request deadline,
         capped retries with jittered exponential backoff.  Raises
         :class:`HostDownError` once the budget is exhausted — the caller
-        decides whether that means reroute, handoff, or give up."""
+        decides whether that means reroute, handoff, or give up.
+
+        Retry discipline: a :class:`ConnectFailed` (the request provably
+        never left the router) is always retryable.  Any *ambiguous*
+        failure — timeout, reset after the write, garbled reply — may have
+        happened after the host applied and journaled the op, so for
+        non-idempotent ops (``mutate``, ``open_stream``) the budget stops
+        there: re-sending could double-apply, advancing state twice and
+        desynchronizing ``mutates_acked`` from the journal, which would
+        poison a later handoff as "divergent".  The journal-based
+        acked-vs-length comparison in :meth:`_handoff_session` is the
+        machinery that disambiguates instead.
+        """
         pool = self.pools[endpoint]
         op = str(message.get("op") or "decompose")
+        idempotent = _message_idempotent(message)
         delay = self.backoff_base_s
         failure: Exception | None = None
         for attempt in range(self.retries + 1):
@@ -325,11 +389,16 @@ class RingRouter:
             t0 = perf_counter()
             try:
                 resp = await pool.request(dict(message))
+            except ConnectFailed as exc:
+                failure = exc
+                continue  # never sent — safe to retry any op
             except (OSError, asyncio.TimeoutError, ValueError) as exc:
-                # OSError covers refused/reset, TimeoutError the deadline,
+                # OSError covers resets, TimeoutError the deadline,
                 # ValueError a garbled reply (bad JSON / id mismatch) — a
                 # host emitting garbage is as unusable as a dead one
                 failure = exc
+                if not idempotent:
+                    break  # ambiguous: let the journal decide, never re-send
                 continue
             finally:
                 if telemetry_enabled():
@@ -340,7 +409,7 @@ class RingRouter:
             resp.pop("id", None)  # the backend's id; the client's goes back on
             return resp
         raise HostDownError(
-            f"{endpoint} unreachable after {self.retries + 1} attempt(s): "
+            f"{endpoint} unreachable after {attempt + 1} attempt(s) ({op}): "
             f"{type(failure).__name__}: {failure}"
         )
 
@@ -363,6 +432,8 @@ class RingRouter:
                 return {"id": rid, "ok": True, "stats": await self.stats_async()}
             if op == "drain_host":
                 return {"id": rid, **await self.drain_host(req.get("host"))}
+            if op == "undrain_host":
+                return {"id": rid, **self.undrain_host(req.get("host"))}
             if op in STREAM_OPS:
                 return {"id": rid, **await self._session_request(op, req)}
             scenario = scenario_from_spec(req.get("scenario"))
@@ -532,6 +603,11 @@ class RingRouter:
             "scenario": header.get("scenario"),
             "base": header.get("base"),
             "ops": ops,
+            # a retried handoff (or a chained failover racing a TTL) may
+            # find a half-adopted entry on the target; takeover lets the
+            # router's replay replace it — plain clients get the duplicate
+            # check instead
+            "takeover": True,
         }
         try:
             restored = await self._forward(new_endpoint, restore)
@@ -574,13 +650,18 @@ class RingRouter:
     async def drain_host(self, host) -> dict:
         """Remove ``host`` from the ring and hand off every session it owns
         — eagerly, while it is still alive (planned maintenance: the same
-        zero-loss replay path as a crash, without waiting for one)."""
+        zero-loss replay path as a crash, without waiting for one).  The
+        host stays out of the ring (even under ``--probe-interval``) until
+        an explicit ``undrain_host``."""
         if not isinstance(host, str) or host not in self.pools:
             raise ProtocolError(f"unknown ring host {host!r}")
         if host in self.down:
+            self.drained.add(host)  # a crash-downed host an operator now
+            # claims for maintenance must not be probed back either
             return {"ok": True, "host": host, "drained": 0, "failed": 0,
                     "already_down": True}
         self.down.add(host)
+        self.drained.add(host)
         self._update_ring_gauges()
         events.emit("host.drain", host=host)
         drained = failed = 0
@@ -590,12 +671,26 @@ class RingRouter:
             async with entry["lock"]:
                 if self._sessions.get(sid) is not entry or entry["endpoint"] != host:
                     continue  # moved or closed while we waited on the lock
-                reply = await self._handoff_session(sid, entry, "drain")
-                if reply is None:
+                # _handoff_session returns None both for "relocated" and for
+                # "restore target just died — walk on", so None alone does
+                # NOT mean the session moved; only an endpoint that actually
+                # changed to a live host does.  Loop until it lands (each
+                # failed iteration downs one more host) or a terminal reply.
+                reply = None
+                for _ in range(len(self.endpoints) + 1):
+                    reply = await self._handoff_session(sid, entry, "drain")
+                    if reply is not None:
+                        break
+                    if (entry["endpoint"] != host
+                            and entry["endpoint"] not in self.down):
+                        break
+                if (reply is None and entry["endpoint"] != host
+                        and entry["endpoint"] not in self.down):
                     drained += 1
+                    # only now that the session verifiably lives elsewhere:
                     # free the drained host's copy (worker state + its now
-                    # superseded journal); best effort — it may already be
-                    # gone, and the handed-off session no longer needs it
+                    # superseded journal); best effort — the handed-off
+                    # session no longer needs it
                     try:
                         await self._forward(
                             host, {"op": "close_stream", "session": sid})
@@ -606,6 +701,17 @@ class RingRouter:
                     self._sessions.pop(sid, None)
                     self.sessions_lost += 1
         return {"ok": True, "host": host, "drained": drained, "failed": failed}
+
+    def undrain_host(self, host) -> dict:
+        """Operator's inverse of ``drain_host``: allow ``host`` back into
+        the ring for new placements (handed-off sessions stay put)."""
+        if not isinstance(host, str) or host not in self.pools:
+            raise ProtocolError(f"unknown ring host {host!r}")
+        was_drained = host in self.drained
+        self.drained.discard(host)
+        self.mark_up(host)
+        return {"ok": True, "host": host, "undrained": was_drained,
+                "up": host not in self.down}
 
     async def _shutdown_backends(self) -> None:
         for endpoint in self.endpoints:
@@ -624,6 +730,7 @@ class RingRouter:
             "ring": {
                 "endpoints": list(self.endpoints),
                 "down": sorted(self.down),
+                "drained": sorted(self.drained),
                 "replicas": self.ring.replicas,
                 "sessions": len(self._sessions),
                 "requests": self.requests,
@@ -694,7 +801,9 @@ async def route_serve(
     ``probe_interval`` (seconds) re-pings down hosts in the background and
     returns responders to the ring for new placements; off by default —
     un-downing is otherwise an operator action (restart the router or rely
-    on drain/bring-up procedures).
+    on drain/bring-up procedures).  Hosts downed by ``drain_host`` are
+    never probed back: they answer pings while the operator works on
+    them, and only ``undrain_host`` readmits them.
     """
     handle = timed_request_handler(
         router.dispatch, get_slow_request_s=lambda: router.slow_request_s
@@ -707,6 +816,11 @@ async def route_serve(
         while True:
             await asyncio.sleep(probe_interval)
             for endpoint in sorted(router.down):
+                if endpoint in router.drained:
+                    # a drained host is down by operator intent, not by
+                    # failure — it answers pings right up until the process
+                    # stops, and probing it back would undo the drain
+                    continue
                 try:
                     resp = await router._forward(endpoint, {"op": "ping"})
                 except HostDownError:

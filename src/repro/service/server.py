@@ -341,11 +341,18 @@ class DecompositionService:
         :class:`~repro.stream.ReplayError`), the session registers exactly
         like an open, and — when this server journals — the replayed log is
         re-journaled locally, so the *next* failover can hand the session
-        off again.  Idempotent: a retried handoff replaces any half-adopted
-        entry an earlier attempt left behind.
+        off again.  A live entry for the id is refused unless the request
+        sets ``takeover`` (the router's handoffs always do, so a retried
+        handoff replaces any half-adopted entry an earlier attempt left
+        behind) — without the flag this op would let any client that knows
+        a session id clobber another client's live session.
         """
         scenario = fields["scenario"]
         self._authorize(scenario)
+        if sid in self._sessions and not fields.get("takeover"):
+            raise ProtocolError(
+                f"session {sid!r} already exists "
+                f"(restore_stream needs 'takeover' to replace it)")
         if sid not in self._sessions and len(self._sessions) >= self.max_sessions:
             await self._expire_idle_sessions()
             if len(self._sessions) >= self.max_sessions:

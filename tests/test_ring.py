@@ -180,10 +180,21 @@ class RingHarness:
 
     async def shutdown(self):
         await self.call({"op": "shutdown"})  # propagates to live hosts
-        for task in self.tasks:
-            if not task.done():
-                with contextlib.suppress(asyncio.CancelledError, asyncio.TimeoutError):
-                    await asyncio.wait_for(task, 30)
+        for task, endpoint in zip(self.tasks, self.endpoints):
+            if task.done():
+                continue
+            # a drained/downed-but-alive host is skipped by the router's
+            # propagated shutdown; stop it directly instead of timing out
+            host, _, port = endpoint.rpartition(":")
+            with contextlib.suppress(OSError, asyncio.TimeoutError):
+                client = await ServiceClient.connect(
+                    host, int(port), connect_timeout=2)
+                try:
+                    await client.call({"op": "shutdown"}, timeout=5)
+                finally:
+                    await client.close()
+            with contextlib.suppress(asyncio.CancelledError, asyncio.TimeoutError):
+                await asyncio.wait_for(task, 30)
 
 
 async def baseline_session(spec, mutates: int):
@@ -514,6 +525,123 @@ class TestRouterSessions:
         assert router.sessions_lost == 0
         assert bad is not None and "unknown ring host" in bad
 
+    def test_ambiguous_mutate_failure_is_not_resent(self, tmp_path):
+        """A mutate whose connection dies after the request was written may
+        already have applied on the (still healthy) host.  Re-sending it
+        would double-apply — state advances twice, and the journal lands at
+        ``mutates_acked + 2``, poisoning the next handoff as divergent.
+        The router must send it exactly once and let the journal-based
+        handoff synthesize the lost reply instead."""
+
+        async def run():
+            harness = await RingHarness.start(tmp_path, n=3)
+            router = harness.router
+            try:
+                sid = harness.session_for(harness.endpoints[0], prefix="am")
+                victim = router.ring.owner(session_ring_key(sid))
+                opened = await harness.call(
+                    {"op": "open_stream", "session": sid,
+                     "scenario": STREAM_SPEC})
+                assert opened["ok"], opened
+                results = []
+                for _ in range(2):
+                    mutated = await harness.call(
+                        {"op": "mutate", "session": sid, "steps": 1})
+                    assert mutated["ok"], mutated
+                    results.append(json.dumps(mutated["results"], sort_keys=True))
+                # ambiguous-failure injection: the host receives, applies
+                # and journals the mutate, but the reply never arrives
+                pool = router.pools[victim]
+                real_request = pool.request
+                mutate_sends = 0
+
+                async def ack_lost(message):
+                    nonlocal mutate_sends
+                    resp = await real_request(message)
+                    if message.get("op") == "mutate":
+                        mutate_sends += 1
+                        raise asyncio.TimeoutError("reply lost after apply")
+                    return resp
+
+                pool.request = ack_lost
+                retried = await harness.call(
+                    {"op": "mutate", "session": sid, "steps": 1})
+                pool.request = real_request
+                assert retried["ok"], retried
+                results.append(json.dumps(retried["results"], sort_keys=True))
+                snap = await harness.call({"op": "snapshot", "session": sid})
+                assert snap["ok"], snap
+                return {
+                    "results": results,
+                    "snapshot": canonical_record(snap["snapshot"]),
+                    "sends": mutate_sends,
+                    "victim_down": victim in router.down,
+                    "handoffs": router.handoffs,
+                    "lost": router.sessions_lost,
+                }
+            finally:
+                await harness.shutdown()
+
+        out = asyncio.run(run())
+        direct = asyncio.run(baseline_session(STREAM_SPEC, 3))
+        # exactly one send: the ambiguous failure must not burn the retry
+        # budget re-sending a non-idempotent op to the same host
+        assert out["sends"] == 1
+        assert out["victim_down"] and out["handoffs"] == 1 and out["lost"] == 0
+        # the synthesized reply and the state are byte-identical to an
+        # uninterrupted run — the mutate applied exactly once, not twice
+        assert out["results"] == direct["results"]
+        assert out["snapshot"] == direct["snapshots"][3]
+
+    def test_drain_host_walks_past_dead_restore_target(self, tmp_path):
+        """If the preferred restore target dies during a drain, the session
+        has NOT moved yet — the drain must walk on to the next live owner
+        before releasing the drained host's copy, never count the session
+        drained and delete the only journal while it still lives on the
+        drained host."""
+
+        async def run():
+            harness = await RingHarness.start(tmp_path, n=3)
+            router = harness.router
+            try:
+                victim = harness.endpoints[0]
+                sid = harness.session_for(victim, prefix="dw")
+                target = router.ring.owner(session_ring_key(sid),
+                                           exclude={victim})
+                survivor = next(e for e in harness.endpoints
+                                if e not in (victim, target))
+                opened = await harness.call(
+                    {"op": "open_stream", "session": sid,
+                     "scenario": STREAM_SPEC})
+                assert opened["ok"], opened
+                for _ in range(2):
+                    assert (await harness.call(
+                        {"op": "mutate", "session": sid, "steps": 1}))["ok"]
+                # the drain-time restore target dies before the drain starts
+                # (the router does not know yet)
+                await kill_host(harness.tasks[harness.endpoints.index(target)])
+                drained = await harness.call(
+                    {"op": "drain_host", "host": victim})
+                landed_on = router._sessions[sid]["endpoint"]
+                mutated = await harness.call(
+                    {"op": "mutate", "session": sid, "steps": 1})
+                snap = await harness.call({"op": "snapshot", "session": sid})
+                return (drained, landed_on, survivor, target, mutated, snap,
+                        router)
+            finally:
+                await harness.shutdown()
+
+        drained, landed_on, survivor, target, mutated, snap, router = \
+            asyncio.run(run())
+        assert drained["ok"], drained
+        assert drained["drained"] == 1 and drained["failed"] == 0
+        assert landed_on == survivor  # walked past the dead target
+        assert target in router.down
+        assert mutated["ok"] and snap["ok"]
+        direct = asyncio.run(baseline_session(STREAM_SPEC, 3))
+        assert canonical_record(snap["snapshot"]) == direct["snapshots"][3]
+        assert router.sessions_lost == 0
+
 
 # ----------------------------------------------------------------------
 class TestRouteServe:
@@ -562,3 +690,125 @@ class TestRouteServe:
         assert path == tmp_path / "127.0.0.1_8642" / journal_file_name("sid")
         rootless = RingRouter(["127.0.0.1:8642"])
         assert rootless._journal_path("127.0.0.1:8642", "sid") is None
+
+    def test_probe_never_revives_a_drained_host(self, tmp_path):
+        """A drained host is healthy and answers pings; the background
+        probe must not return it to the ring (that would undo the drain in
+        the window before the operator stops the process).  Only an
+        explicit undrain_host readmits it."""
+
+        async def run():
+            harness = await RingHarness.start(tmp_path, n=2, journaled=False)
+            router = harness.router
+            ready = asyncio.Event()
+            bound = {}
+
+            def _ready(host, port):
+                bound.update(host=host, port=port)
+                ready.set()
+
+            route_task = asyncio.create_task(
+                route_serve(harness.router, port=0, ready=_ready,
+                            probe_interval=0.05))
+            await asyncio.wait_for(ready.wait(), 10)
+            client = await ServiceClient.connect(bound["host"], bound["port"])
+            try:
+                victim = harness.endpoints[0]
+                drained = await client.call(
+                    {"op": "drain_host", "host": victim})
+                await asyncio.sleep(0.4)  # several probe cycles ping away
+                still_down = victim in router.down
+                router.mark_up(victim)  # the probe's path — refused too
+                mark_up_refused = victim in router.down
+                mid = router.stats()["ring"]
+                undrained = await client.call(
+                    {"op": "undrain_host", "host": victim})
+                after = router.stats()["ring"]
+                await client.shutdown()
+            finally:
+                await client.close()
+            await asyncio.wait_for(route_task, 30)
+            for task in harness.tasks:
+                with contextlib.suppress(asyncio.CancelledError,
+                                         asyncio.TimeoutError):
+                    await asyncio.wait_for(task, 30)
+            return drained, still_down, mark_up_refused, mid, undrained, after
+
+        drained, still_down, mark_up_refused, mid, undrained, after = \
+            asyncio.run(run())
+        assert drained["ok"]
+        assert still_down and mark_up_refused
+        assert mid["down"] == mid["drained"] != []
+        assert undrained["ok"] and undrained["undrained"] and undrained["up"]
+        assert after["down"] == [] and after["drained"] == []
+
+
+# ----------------------------------------------------------------------
+class TestRestoreTakeover:
+    """restore_stream must not clobber a live session unless the caller —
+    in practice only the router's handoff — explicitly asks to take over
+    (REVIEW: any client knowing a session id could replace another
+    client's live session with attacker-chosen scenario/ops)."""
+
+    def test_restore_refuses_live_session_without_takeover(self, tmp_path):
+        async def run():
+            service = DecompositionService(shards=0, max_wait_ms=1.0)
+            task, endpoint = await start_host(service)
+            host, _, port = endpoint.rpartition(":")
+            client = await ServiceClient.connect(host, int(port))
+            try:
+                opened = await client.open_stream("dup", STREAM_SPEC)
+                assert opened["ok"], opened
+                assert (await client.mutate("dup", steps=1))["ok"]
+                hijack = await client.call({
+                    "op": "restore_stream", "session": "dup",
+                    "scenario": STREAM_SPEC, "base": None, "ops": []})
+                survived = await client.snapshot("dup")
+                bad_flag = await client.call({
+                    "op": "restore_stream", "session": "dup",
+                    "scenario": STREAM_SPEC, "base": None, "ops": [],
+                    "takeover": "yes"})
+                takeover = await client.call({
+                    "op": "restore_stream", "session": "dup",
+                    "scenario": STREAM_SPEC, "base": None, "ops": [],
+                    "takeover": True})
+                replaced = await client.snapshot("dup")
+                await client.shutdown()
+                return opened, hijack, survived, bad_flag, takeover, replaced
+            finally:
+                await client.close()
+                with contextlib.suppress(asyncio.CancelledError,
+                                         asyncio.TimeoutError):
+                    await asyncio.wait_for(task, 30)
+
+        opened, hijack, survived, bad_flag, takeover, replaced = \
+            asyncio.run(run())
+        assert not hijack["ok"] and "already exists" in hijack["error"]
+        assert not bad_flag["ok"] and "takeover" in bad_flag["error"]
+        # the refused restore left the mutated live session untouched
+        assert survived["ok"]
+        assert survived["snapshot"]["version"] != opened["snapshot"]["version"]
+        # the explicit takeover replaced it with the replayed zero-op state
+        assert takeover["ok"] and takeover["restored"]
+        assert replaced["snapshot"]["version"] == opened["snapshot"]["version"]
+        assert canonical_record(replaced["snapshot"]) == canonical_record(
+            opened["snapshot"])
+
+
+# ----------------------------------------------------------------------
+class TestRouterDefaults:
+    def test_default_hop_deadline_matches_loadgen(self):
+        """The router's per-hop deadline must be at least the deadline
+        loadgen clients wait for a single op — a shorter hop deadline
+        turns every legitimately slow op into a marked-down healthy host
+        (and, with probing off by default, a permanently shrunken ring)."""
+        import inspect
+
+        from repro.service.loadgen import run_churn, run_loadgen
+
+        router_default = inspect.signature(
+            RingRouter.__init__).parameters["request_timeout"].default
+        for fn in (run_loadgen, run_churn):
+            client_default = inspect.signature(
+                fn).parameters["request_timeout"].default
+            assert router_default >= client_default
