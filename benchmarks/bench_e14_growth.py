@@ -1,0 +1,133 @@
+"""E14g — dynamic vertex sets: repair vs recompute on growth traces.
+
+Companion to ``bench_e14_streaming`` for the index-space-growth trace
+families (:data:`repro.stream.GROWTH_TRACES`): ``growth`` (monotone
+arrivals), ``remesh`` (refine/coarsen churn), and ``arrival-departure``
+(arrivals plus departures of settled vertices).  The claims:
+
+* **Quality** — boundary-gain seeding of fresh vertices plus
+  halo-restricted FM keeps the repaired decomposition's max boundary cost
+  within 1.25× of a per-step full recompute on average, per family.
+* **Speed** — repair beats the per-step recompute baseline on every
+  growth family at the largest preset size.
+
+Growth traces drift harder than pure edge churn (a departure can orphan a
+settled region), so each family carries its own bounded-staleness refresh
+cadence — the same cadences the ``growth`` sweep preset pins.
+
+Both sessions replay the *same* trace, so ratios compare identical
+mutation histories, and the final structural hashes must agree — growth
+mutations are policy-agnostic.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.runtime import Scenario, build_instance
+from repro.stream import GROWTH_TRACES, StreamSession
+
+#: quality envelope: mean-over-trace repaired/recomputed max boundary
+QUALITY_GAMMA = 1.25
+#: speed floor at the largest preset size, every growth family; the
+#: arrival-departure cadence (refresh=2: every other step is a forced full
+#: recompute) caps its achievable speedup near 2×, so the floor is modest
+#: compared to the edge-churn bench
+MIN_SPEEDUP = 1.2
+
+#: per-family bounded-staleness refresh cadence (steps between forced
+#: recomputes); departures of settled vertices drift the repaired
+#: solution harder than pure growth, so arrival-departure refreshes faster
+REFRESH = {"growth": 4, "remesh": 4, "arrival-departure": 2}
+
+SIZES = (16, 24)  # grid sides; 24 is "the largest preset size"
+STEPS = 12
+OPS = 8
+
+
+def replay(trace: str, size: int, steps: int = STEPS, ops: int = OPS):
+    """Run repair and recompute sessions over one shared growth trace.
+
+    Returns (per-step ratio list, repair seconds, recompute-baseline
+    seconds, repair counters, vertices grown); initial solves are excluded
+    from both timings.
+    """
+    base = Scenario(
+        family="grid", size=size, k=8, algorithm="stream", weights="zipf",
+        params={"trace": trace, "steps": steps, "ops": ops,
+                "refresh": REFRESH[trace]},
+    )
+    inst = build_instance(base)
+    rep = StreamSession(inst, base)
+    rec = StreamSession(
+        inst, base.with_(params={**base.param_dict, "policy": "recompute"})
+    )
+    rep_init, rec_init = rep.recompute_seconds, rec.recompute_seconds
+    ratios = []
+    while rep.trace_remaining:
+        a = rep.step()
+        b = rec.step()
+        ratios.append(a["max_boundary"] / max(b["max_boundary"], 1e-12))
+        assert rep.metrics()["strictly_balanced"]
+    repair_t = rep.repair_seconds + (rep.recompute_seconds - rep_init)
+    baseline_t = rec.recompute_seconds - rec_init
+    # growth mutations are policy-agnostic: same final vertex set, same hash
+    assert rep.state.structural_hash() == rec.state.structural_hash()
+    grown = rep.state.n - inst.graph.n
+    return ratios, repair_t, baseline_t, rep.counters(), grown
+
+
+@pytest.mark.parametrize("trace", sorted(GROWTH_TRACES))
+def test_e14g_smoke_quality(trace, save_json):
+    """CI smoke: small instance, every growth family within the envelope."""
+    ratios, _, _, counters, grown = replay(trace, size=10, steps=6, ops=6)
+    mean_ratio = sum(ratios) / len(ratios)
+    # the trace actually exercised index-space growth, not just edge churn
+    assert grown > 0, trace
+    save_json(
+        {"mean_ratio": round(mean_ratio, 4), "worst_ratio": round(max(ratios), 4),
+         "grown": grown, "counters": counters},
+        "e14g", key=f"smoke-{trace}",
+    )
+    assert mean_ratio <= QUALITY_GAMMA
+
+
+def test_e14g_repair_vs_recompute(benchmark, save_table, save_json):
+    table = Table(
+        "E14g dynamic vertex sets — incremental repair vs full recompute "
+        f"(k=8, zipf weights, {STEPS} steps x {OPS} ops)",
+        ["trace", "size", "mean ratio", "worst ratio", "grown", "speedup"],
+        note="ratio = repaired max ∂ / per-step full-recompute max ∂; "
+        "grown = net vertex-slot growth over the trace; speedup excludes "
+        "both sessions' initial solves",
+    )
+    rows = {}
+    for trace in sorted(GROWTH_TRACES):
+        for size in SIZES:
+            ratios, repair_t, baseline_t, counters, grown = replay(trace, size)
+            mean_ratio = sum(ratios) / len(ratios)
+            speedup = baseline_t / max(repair_t, 1e-9)
+            rows[f"{trace}/{size}"] = {
+                "mean_ratio": round(mean_ratio, 4),
+                "worst_ratio": round(max(ratios), 4),
+                "grown": grown,
+                "recomputes": counters["recomputes"],
+                "repair_s": round(repair_t, 3),
+                "recompute_s": round(baseline_t, 3),
+                "speedup": round(speedup, 2),
+            }
+            table.add(trace, size, round(mean_ratio, 3), round(max(ratios), 3),
+                      grown, f"{speedup:.1f}x")
+            # quality: repair tracks recompute on average on every family
+            assert mean_ratio <= QUALITY_GAMMA, (trace, size, mean_ratio)
+    save_table(table, "e14g")
+    save_json(rows, "e14g", key="repair-vs-recompute")
+    # speed: repair beats per-step recompute at the largest preset size on
+    # every growth family, despite the forced refresh recomputes
+    for trace in sorted(GROWTH_TRACES):
+        headline = rows[f"{trace}/{SIZES[-1]}"]
+        assert headline["speedup"] >= MIN_SPEEDUP, (trace, headline)
+
+    benchmark.pedantic(
+        lambda: replay("growth", SIZES[0], steps=4, ops=4), rounds=1,
+        iterations=1,
+    )

@@ -278,6 +278,19 @@ SWEEP_PRESETS = {
             for trace in ("random-churn", "sliding-window", "hotspot", "adversarial-cut")
         ],
     ),
+    # one cell per dynamic-vertex-set trace family (index-space growth);
+    # kept separate from "stream" so its checked-in baseline stays stable.
+    # arrival-departure refreshes faster: departures of settled vertices
+    # drift the repaired solution harder than pure growth does
+    "growth": dict(
+        family=["grid"], size=[10], k=[4], algorithm=["stream"],
+        weights=["zipf"], costs=["unit"], seed=[0],
+        params=[
+            {"trace": "growth", "steps": 6, "ops": 6, "refresh": 4},
+            {"trace": "remesh", "steps": 6, "ops": 6, "refresh": 4},
+            {"trace": "arrival-departure", "steps": 6, "ops": 6, "refresh": 2},
+        ],
+    ),
 }
 
 

@@ -197,6 +197,46 @@ class KernelState:
         view = np.frombuffer(self.table, dtype=np.uint8).reshape(self.nbuckets, self.n)
         return np.flatnonzero(view.any(axis=0)).astype(np.int64)
 
+    def grow(self, new_n: int) -> None:
+        """Extend the index space to ``new_n`` vertices in place.
+
+        The streaming layer's vertex set grows mid-session; re-striding here
+        (each ``n``-byte bucket row widens to ``new_n`` bytes, occupancy
+        preserved) means a live queue survives an ``add_vertex`` batch
+        without the O(nbuckets × n) rebuild.  Fresh slots start unlocked,
+        non-member, gain 0 and in no bucket; :meth:`enqueue` admits them.
+        """
+        new_n = int(new_n)
+        if new_n < self.n:
+            raise ValueError("KernelState.grow cannot shrink the index space")
+        if new_n == self.n:
+            return
+        old = np.frombuffer(self.table, dtype=np.uint8).reshape(self.nbuckets, self.n)
+        table = bytearray(self.nbuckets * new_n)
+        np.frombuffer(table, dtype=np.uint8).reshape(self.nbuckets, new_n)[
+            :, : self.n
+        ] = old
+        pad = new_n - self.n
+        self.table = table
+        self.gains = np.concatenate([self.gains, np.zeros(pad, dtype=np.float64)])
+        self.locked = np.concatenate([self.locked, np.zeros(pad, dtype=bool)])
+        self.member = np.concatenate([self.member, np.zeros(pad, dtype=bool)])
+        self.n = new_n
+
+    def enqueue(self, v: int, gain: float) -> None:
+        """Admit vertex ``v`` with an integer-valued ``gain`` to the queue."""
+        b = int(gain) + self.offset
+        if not (0 <= b < self.nbuckets):
+            raise ValueError(f"gain {gain} outside the bucket range")
+        self.gains[v] = float(gain)
+        self.member[v] = True
+        slot = b * self.n + v
+        if not self.table[slot]:
+            self.table[slot] = 1
+            self.counts[b] += 1
+        self.heads[b] = min(int(self.heads[b]), v)
+        self.maxb = max(self.maxb, b)
+
 
 def fm_pair_pass_bucket(
     g: Graph,

@@ -17,6 +17,7 @@ __all__ = [
     "bfs_order",
     "pseudo_peripheral_vertex",
     "is_connected",
+    "is_connected_within",
 ]
 
 
@@ -104,6 +105,22 @@ def is_connected(g: Graph) -> bool:
     if g.n <= 1:
         return True
     return bool(np.all(bfs_levels(g, [0]) >= 0))
+
+
+def is_connected_within(g: Graph, members) -> bool:
+    """Connectivity of the subgraph induced by a boolean member mask.
+
+    The streaming layer soft-deletes vertices (dead slots stay in the index
+    space with no incident edges), so whole-graph :func:`is_connected` is
+    always false once anything was removed; this checks the live vertex set
+    only, without materializing the induced subgraph.  Edges leaving the
+    member set are assumed absent (the :class:`GraphState` invariant).
+    """
+    members = np.asarray(members, dtype=bool)
+    live = np.flatnonzero(members)
+    if live.size <= 1:
+        return True
+    return bool(np.all(bfs_levels(g, live[:1])[live] >= 0))
 
 
 def pseudo_peripheral_vertex(g: Graph, start: int = 0, sweeps: int = 2) -> int:

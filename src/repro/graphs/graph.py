@@ -93,6 +93,35 @@ class Graph:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_csr(cls, n, edges, costs, indptr, nbr, eid, coords=None) -> "Graph":
+        """Private constructor from precomputed CSR arrays (no rebuild).
+
+        Used by the incremental maintenance layer
+        (:func:`repro.graphs.incremental.patch_graph`); the caller
+        guarantees the arrays are exactly what :meth:`_build_csr` would
+        produce for ``(n, edges, costs)`` — byte-identical, same dtypes.
+        Arrays may be shared with another graph; they are marked read-only.
+        """
+        g = cls.__new__(cls)
+        g.n = int(n)
+        g.m = int(edges.shape[0])
+        g.edges = edges
+        g.costs = costs
+        g.indptr = indptr
+        g.nbr = nbr
+        g.eid = eid
+        for arr in (g.edges, g.costs, g.indptr, g.nbr, g.eid):
+            arr.setflags(write=False)
+        if coords is not None:
+            coords.setflags(write=False)
+        g.coords = coords
+        g._arc_costs = None
+        g._struct_hash = None
+        g._tau_max = None
+        g._costs_integral = None
+        return g
+
     def _build_csr(self) -> None:
         n, m = self.n, self.m
         if m == 0:

@@ -514,6 +514,13 @@ class DecompositionService:
                 await asyncio.sleep(delay * random.uniform(0.5, 1.5))
                 delay = min(delay * 2.0, _RECOVERY_BACKOFF_CAP_S)
             restored = await self.pool.submit_session(entry["shard"], restore)
+            if restored.get("unknown_mutation"):
+                # the journal holds a mutation kind this build cannot replay
+                # (written by a newer build — a mid-upgrade handoff): no
+                # number of retries can fix it, and the worker's typed
+                # "session lost: unknown mutation" reason must reach the
+                # client instead of the generic lost outcome
+                return restored
             if self._state_lost(restored):
                 # killed mid-replay; the pool respawned, go again (after
                 # backing off — see above)

@@ -32,7 +32,7 @@ import json
 import os
 import pathlib
 
-from ..stream import ReplayError, StreamSession, replay_session
+from ..stream import ReplayError, StreamSession, UnknownMutationError, replay_session
 
 __all__ = ["session_call", "open_session_count", "drop_namespace", "maybe_fault"]
 
@@ -175,6 +175,12 @@ def session_call(payload: dict) -> dict:
                 # divergence is terminal: a silently different state would
                 # break byte-identity, so the server must report the loss
                 return {"ok": False, "replay_diverged": True, "error": str(exc)}
+            except UnknownMutationError as exc:
+                # a journal written by a newer build (growth mutations this
+                # host predates): refuse cleanly as a lost session instead
+                # of surfacing an internal fault the caller would retry
+                return {"ok": False, "session_lost": True, "unknown_mutation": True,
+                        "error": f"session lost: unknown mutation during replay ({exc})"}
             # idempotent by design: a retried recovery replaces any stale
             # entry a half-finished earlier attempt might have registered
             _SESSIONS[sid] = session
@@ -193,6 +199,7 @@ def session_call(payload: dict) -> dict:
                     "error": f"unknown session {sid!r}"}
         if op == "mutate":
             maybe_fault("mutate:before", session=sid, version=session.state.version)
+            pre_vertex_set = (session.state.n, session.state.n_alive)
             if "mutations" in payload:
                 results = [session.apply_mutations(payload["mutations"])]
             else:
@@ -205,6 +212,11 @@ def session_call(payload: dict) -> dict:
                             f"remaining, {steps} requested"}
                 results = [session.step() for _ in range(steps)]
             maybe_fault("mutate:after", session=sid, version=session.state.version)
+            if (session.state.n, session.state.n_alive) != pre_vertex_set:
+                # this batch grew or shrank the vertex set: a dedicated
+                # crash point so chaos runs can kill a worker specifically
+                # mid-add_vertex/remove_vertex, after apply, before ack
+                maybe_fault("mutate:grow", session=sid, version=session.state.version)
             out = {"ok": True, "results": results}
             if payload.get("fingerprint"):
                 # the journal's (version, hash) stamp — an O(m) content

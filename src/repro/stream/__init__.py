@@ -11,7 +11,8 @@ Layers:
   to a versioned mutable :class:`GraphState` with structural-hash identity.
 * :mod:`.traces` — deterministic churn workload generators
   (:data:`TRACES`: random churn, sliding window, hotspot growth/decay,
-  adversarial cut-crossing churn).
+  adversarial cut-crossing churn, plus the dynamic-vertex-set families
+  growth, remesh, and arrival-departure).
 * :mod:`.repair` — the incremental repairer: greedy strict-window
   restoration, dirty-region-seeded FM refinement, and the Träff–Wimmer-style
   :func:`cheap_lower_bound` the drift monitor checks repairs against.
@@ -29,8 +30,21 @@ other axis, and the service exposes sessions through
 """
 
 from .journal import JournalError, JournalStore, journal_file_name, read_journal
-from .mutations import DirtyRegion, GraphState, Mutation, MutationError, replay
-from .repair import cheap_lower_bound, local_repair, restore_window, strict_window
+from .mutations import (
+    DirtyRegion,
+    GraphState,
+    Mutation,
+    MutationError,
+    UnknownMutationError,
+    replay,
+)
+from .repair import (
+    cheap_lower_bound,
+    local_repair,
+    restore_window,
+    seed_new_vertices,
+    strict_window,
+)
 from .session import (
     POLICIES,
     ReplayError,
@@ -39,9 +53,10 @@ from .session import (
     run_stream_scenario,
     stream_coloring,
 )
-from .traces import TRACES, make_trace
+from .traces import GROWTH_TRACES, TRACES, make_trace
 
 __all__ = [
+    "GROWTH_TRACES",
     "POLICIES",
     "TRACES",
     "DirtyRegion",
@@ -52,6 +67,7 @@ __all__ = [
     "MutationError",
     "ReplayError",
     "StreamSession",
+    "UnknownMutationError",
     "cheap_lower_bound",
     "journal_file_name",
     "local_repair",
@@ -61,6 +77,7 @@ __all__ = [
     "replay_session",
     "restore_window",
     "run_stream_scenario",
+    "seed_new_vertices",
     "stream_coloring",
     "strict_window",
 ]

@@ -25,7 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.kernels import run_pair_kernel
-from ..graphs.components import bfs_levels, is_connected
+from ..graphs.components import bfs_levels, is_connected, is_connected_within
 from ..graphs.graph import Graph
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "cheap_lower_bound",
     "restore_window",
     "local_repair",
+    "seed_new_vertices",
     "strict_window",
 ]
 
@@ -52,7 +53,7 @@ def strict_window(weights: np.ndarray, k: int) -> tuple[float, float]:
     return avg - slack, avg + slack
 
 
-def cheap_lower_bound(g: Graph, k: int, weights: np.ndarray) -> float:
+def cheap_lower_bound(g: Graph, k: int, weights: np.ndarray, alive=None) -> float:
     """Combinatorial floor on the max boundary cost of any strictly
     balanced k-partition of ``g``.
 
@@ -67,6 +68,13 @@ def cheap_lower_bound(g: Graph, k: int, weights: np.ndarray) -> float:
       window's upper bound, no class can contain ``v``'s closed
       neighborhood, so the class of ``v`` cuts at least ``v``'s cheapest
       incident edge.  The best such vertex certifies a per-class floor.
+
+    ``alive`` (optional boolean mask) restricts the quotient-connectivity
+    certificate to the live vertex set — with soft-deleted slots the whole
+    graph is never connected, but the partition only covers live vertices,
+    so live connectivity is the right premise.  The crowded-neighborhood
+    certificate needs no gate: dead slots have zero weight and no incident
+    edges, so they can never be crowded.
     """
     if k < 2 or g.m == 0:
         return 0.0
@@ -74,7 +82,8 @@ def cheap_lower_bound(g: Graph, k: int, weights: np.ndarray) -> float:
     _, hi = strict_window(w, k)
     bound = 0.0
     c_min = float(g.costs.min())
-    if c_min > 0 and is_connected(g):
+    connected = is_connected(g) if alive is None else is_connected_within(g, alive)
+    if c_min > 0 and connected:
         bound = 2.0 * (k - 1) * c_min / k
     # closed-neighborhood weight per vertex, vectorized over half-edges
     closed = w.copy()
@@ -157,6 +166,55 @@ class BoundaryGainTable:
         self.toward = toward
         self.count = count
 
+    def grow(self, new_g: Graph, labels: np.ndarray) -> None:
+        """Rebind to a grown graph without rebuilding the table.
+
+        ``new_g`` must extend the bound graph: every old edge survives with
+        its cost, the index space may have grown, and fresh edges (attach
+        edges of arrived vertices, re-added detach survivors) may exist.
+        Both graphs must carry edges in canonical sorted order (the
+        :meth:`GraphState.graph` materialization invariant) — fresh-edge
+        detection is a sorted-key diff.  New rows are zero-padded and only
+        the fresh edges are folded in — O(new vertices × k + new edges)
+        beyond one vectorized order check.  The result is exactly the table
+        a from-scratch build on ``new_g`` would produce (asserted by the
+        growth differential tests).
+        """
+        old = self.g
+        extra = new_g.n - old.n
+        if extra < 0:
+            raise ValueError("BoundaryGainTable.grow cannot shrink the index space")
+        if old.m > 1:
+            shift = np.int64(32)
+            ok = (old.edges[:, 0] << shift) | old.edges[:, 1]
+            if not bool(np.all(ok[:-1] < ok[1:])):
+                raise ValueError("grow requires edges in canonical sorted order")
+        if extra:
+            self.toward = np.vstack(
+                [self.toward, np.zeros((extra, self.k), dtype=np.float64)]
+            )
+            self.count = np.vstack(
+                [self.count, np.zeros((extra, self.k), dtype=np.int64)]
+            )
+        if new_g.m > old.m:
+            shift = np.int64(32)
+            new_keys = (new_g.edges[:, 0] << shift) | new_g.edges[:, 1]
+            if old.m:
+                old_keys = (old.edges[:, 0] << shift) | old.edges[:, 1]
+                pos = np.clip(np.searchsorted(old_keys, new_keys), 0, old.m - 1)
+                fresh = np.flatnonzero(old_keys[pos] != new_keys)
+            else:
+                fresh = np.arange(new_g.m, dtype=np.int64)
+            fu = new_g.edges[fresh, 0]
+            fv = new_g.edges[fresh, 1]
+            fc = new_g.costs[fresh]
+            for a, b in ((fu, fv), (fv, fu)):
+                lab = labels[b]
+                sel = lab >= 0
+                np.add.at(self.toward, (a[sel], lab[sel]), fc[sel])
+                np.add.at(self.count, (a[sel], lab[sel]), 1)
+        self.g = new_g
+
     def apply_move(self, v: int, src_cls: int, dst_cls: int) -> None:
         """Fold ``v``'s move ``src_cls → dst_cls`` into its neighbors' rows."""
         g = self.g
@@ -191,6 +249,56 @@ class BoundaryGainTable:
             (float(delta[t]), int(members[t]), int(dst[t]))
             for t in order.tolist()
         ]
+
+
+def seed_new_vertices(
+    g: Graph,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    fresh,
+) -> int:
+    """Place uncolored vertices by boundary gain; mutates ``labels``.
+
+    Each vertex of ``fresh`` with label ``-1`` is assigned the class already
+    holding the largest share of its incident cost (the class minimizing the
+    boundary it creates — the same toward-cost rule the
+    :class:`BoundaryGainTable` movers use), restricted to classes the strict
+    window can still accommodate; with no positive pull (no colored
+    neighbor, or only zero-cost edges) it falls back to the lightest
+    feasible class.  Vertices are seeded in ascending id order and the
+    running class weights are updated per placement, so replicas agree
+    byte-for-byte.  Returns the number of vertices placed; the caller runs
+    :func:`restore_window` + :func:`local_repair` afterwards, which treat
+    the seeds as ordinary movable vertices.
+    """
+    fresh = np.asarray(fresh, dtype=np.int64)
+    fresh = fresh[(fresh >= 0) & (fresh < g.n)]
+    fresh = np.unique(fresh[labels[fresh] < 0])
+    if fresh.size == 0 or k < 1:
+        return 0
+    w = np.asarray(weights, dtype=np.float64)
+    _, hi = strict_window(w, k)
+    tol = 1e-9
+    cw = np.bincount(labels[labels >= 0], weights=w[labels >= 0], minlength=k)
+    for v in fresh.tolist():
+        s, e = g.indptr[v], g.indptr[v + 1]
+        lab = labels[g.nbr[s:e]]
+        sel = lab >= 0
+        toward = np.zeros(k, dtype=np.float64)
+        if np.any(sel):
+            np.add.at(toward, lab[sel], g.arc_costs[s:e][sel])
+        feasible = cw + w[v] <= hi + tol
+        pool = feasible if np.any(feasible) else np.ones(k, dtype=bool)
+        masked = np.where(pool, toward, -np.inf)
+        if masked.max() > 0:
+            dst = int(np.argmax(masked))  # ties to the smaller class id
+        else:
+            ids = np.flatnonzero(pool)
+            dst = int(ids[np.argmin(cw[ids])])
+        labels[v] = dst
+        cw[dst] += w[v]
+    return int(fresh.size)
 
 
 def restore_window(

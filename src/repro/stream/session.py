@@ -28,11 +28,13 @@ from __future__ import annotations
 import math
 import time
 
+import numpy as np
+
 from ..core.coloring import Coloring
 from ..obs import registry as _telemetry
 from ..obs import span
 from .mutations import GraphState, Mutation, MutationError
-from .repair import cheap_lower_bound, local_repair, restore_window
+from .repair import cheap_lower_bound, local_repair, restore_window, seed_new_vertices
 from .traces import TRACES, make_trace
 
 __all__ = [
@@ -108,7 +110,9 @@ class StreamSession:
         # never the policy: repair and recompute policies replay the same
         # mutations, which is what makes quality ratios well-defined
         trace_extras = {
-            name: params[name] for name in ("radius", "growth", "inflate") if name in params
+            name: params[name]
+            for name in ("radius", "growth", "inflate", "attach")
+            if name in params
         }
         trace_seed = derive_seed(
             {
@@ -151,8 +155,21 @@ class StreamSession:
 
         t0 = time.perf_counter()
         with span("stream.recompute"):
-            inst = Instance(self.state.graph(), self.state.weights.copy())
-            self.coloring = run_algorithm(inst, self._solver_scenario())
+            g = self.state.graph()
+            alive = self.state.alive
+            if bool(alive.all()):
+                inst = Instance(g, self.state.weights.copy())
+                self.coloring = run_algorithm(inst, self._solver_scenario())
+            else:
+                # solvers assume every vertex participates; with dead slots
+                # the live induced subgraph is the real instance — solve it
+                # and lift labels back (dead slots stay uncolored)
+                sub = g.subgraph(alive)
+                inst = Instance(sub.graph, self.state.weights[alive].copy())
+                sub_col = run_algorithm(inst, self._solver_scenario())
+                labels = np.full(g.n, -1, dtype=np.int64)
+                labels[sub.vertices] = sub_col.labels
+                self.coloring = Coloring(labels, self.k)
         self.recompute_seconds += time.perf_counter() - t0
         self.last_full_cost = self.coloring.max_boundary(self.state.graph())
         self.steps_since_full = 0
@@ -213,6 +230,17 @@ class StreamSession:
             t0 = time.perf_counter()
             with span("stream.repair"):
                 labels = self.coloring.labels
+                if labels.size != self.state.n:
+                    grown = np.full(self.state.n, -1, dtype=labels.dtype)
+                    grown[: labels.size] = labels
+                    labels = grown
+                if dirty.removed.size:
+                    labels[dirty.removed] = -1
+                if dirty.added.size:
+                    # arrived/revived vertices: place by boundary gain first,
+                    # then let the window restorer and halo FM treat them as
+                    # ordinary movable vertices
+                    seed_new_vertices(g, labels, w, self.k, dirty.added)
                 balanced = restore_window(g, labels, w, self.k)
                 refined = local_repair(g, labels, w, self.k, dirty.vertices)
             self.refined_pairs += refined
@@ -225,7 +253,13 @@ class StreamSession:
             elif self.policy == "repair":
                 # drift monitor: the reference is the cheap combinatorial
                 # floor or the last full solve — whichever certifies more
-                floor = max(cheap_lower_bound(g, self.k, w), self.last_full_cost)
+                alive = self.state.alive
+                floor = max(
+                    cheap_lower_bound(
+                        g, self.k, w, alive=None if bool(alive.all()) else alive
+                    ),
+                    self.last_full_cost,
+                )
                 if floor > 0 and cost > self.gamma * floor:
                     self._full_solve()
                     action = "recompute-drift"
@@ -342,7 +376,8 @@ def replay_session(instance, scenario, ops, base=None, on_op=None) -> StreamSess
 
 def stream_coloring(instance, scenario) -> Coloring:
     """ALGORITHMS-registry entry point: replay the scenario's whole trace
-    and return the final coloring (labels over the fixed vertex set)."""
+    and return the final coloring (labels over the final index space;
+    soft-deleted vertices are uncolored)."""
     session = StreamSession(instance, scenario)
     while session.trace_remaining:
         session.step()

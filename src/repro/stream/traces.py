@@ -19,20 +19,37 @@ about:
   edges are inserted, deliberately dragging load onto whatever boundary a
   decomposition chose near that cut.
 
+Three further families exercise the *dynamic vertex set* (``add_vertex`` /
+``remove_vertex`` mutations):
+
+* ``growth`` — monotone node arrival: every step a few vertices arrive,
+  each attached by ``attach`` edges to a live anchor's neighborhood, plus
+  weight jitter on the old vertices.  The mesh-refinement workload.
+* ``remesh`` — edge subdivision and collapse: the first half of the trace
+  splits edges ``(u, v)`` into ``(u, w), (w, v)`` through a fresh midpoint
+  vertex; the second half collapses earlier splits (remove the midpoint,
+  restore the bypass edge), so the index space grows and then hollows out.
+* ``arrival-departure`` — arrivals as in ``growth``, but from one third of
+  the way in, earlier arrivals also *depart* (connectivity-checked), and
+  new arrivals revive departed slots before extending the index space —
+  the remove-then-re-add id reuse the journal must replay exactly.
+
 Generators take a :class:`GraphState` *copy* and simulate on it, so the
 emitted batches are always consistent (no double-inserts, no deletes of
 missing edges) and depend only on ``(base state, steps, ops, seed)`` — a
-trace is as deterministic as the instance it mutates.
+trace is as deterministic as the instance it mutates.  Connectivity checks
+are over the *live* vertex set (soft-deleted slots are isolated by
+construction).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..graphs.components import bfs_levels, is_connected
+from ..graphs.components import bfs_levels, is_connected_within
 from .mutations import GraphState, Mutation
 
-__all__ = ["TRACES", "make_trace"]
+__all__ = ["GROWTH_TRACES", "TRACES", "make_trace"]
 
 
 def _rng(seed: int) -> np.random.Generator:
@@ -89,7 +106,7 @@ def _removable_edges(state: GraphState, rng, count: int) -> list[tuple[int, int]
         if not scratch.has_edge(u, v):
             continue
         scratch.apply([Mutation.remove(u, v)])
-        if is_connected(scratch.graph()):
+        if is_connected_within(scratch.graph(), scratch.alive):
             out.append((u, v))
         else:
             scratch.apply([Mutation.add(u, v, 1.0)])
@@ -212,13 +229,156 @@ def _trace_adversarial_cut(state: GraphState, steps: int, ops: int, seed: int, *
     return batches
 
 
+def _attach_batch(state: GraphState, g, rng, vid: int, attach: int) -> list[Mutation]:
+    """Arrival mutations for vertex ``vid``: add_vertex + ``attach`` edges
+    into a live anchor's closed neighborhood (locality-biased, so arrivals
+    look like mesh refinement, not random shortcuts)."""
+    live = np.flatnonzero(state.alive)
+    anchor = int(live[int(rng.integers(live.size))])
+    nbrs = g.nbr[g.indptr[anchor] : g.indptr[anchor + 1]]
+    nbrs = nbrs[state.alive[nbrs]] if nbrs.size else nbrs
+    pool = np.unique(np.concatenate([np.asarray([anchor], dtype=np.int64), nbrs]))
+    picks = rng.choice(pool, size=min(attach, pool.size), replace=False)
+    out = [Mutation.add_vertex(vid, float(rng.uniform(0.5, 2.0)))]
+    for t in np.sort(picks).tolist():
+        out.append(Mutation.add(vid, int(t), _cost_scale(state, rng)))
+    return out
+
+
+def _trace_growth(state: GraphState, steps: int, ops: int, seed: int, **params):
+    rng = _rng(seed)
+    attach = max(1, int(params.get("attach", 2)))
+    batches = []
+    for _ in range(int(steps)):
+        batch: list[Mutation] = []
+        g = state.graph()
+        arrivals = max(1, ops // 3)
+        next_id = state.n
+        for _ in range(arrivals):
+            batch.extend(_attach_batch(state, g, rng, next_id, attach))
+            next_id += 1
+        live = np.flatnonzero(state.alive)
+        for _ in range(max(0, ops - arrivals)):
+            v = int(live[int(rng.integers(live.size))])
+            batch.append(Mutation.set_weight(v, float(rng.uniform(0.25, 4.0))))
+        state.apply(batch)
+        batches.append(batch)
+    return batches
+
+
+def _trace_remesh(state: GraphState, steps: int, ops: int, seed: int, **params):
+    rng = _rng(seed)
+    batches = []
+    splits: list[tuple[int, int, int, float]] = []  # (midpoint, u, v, cost)
+    half = (int(steps) + 1) // 2
+    for step in range(int(steps)):
+        batch: list[Mutation] = []
+        count = max(1, ops // 3)
+        if step < half:
+            items = state.edge_items()
+            order = rng.permutation(len(items)) if items else []
+            used: set[int] = set()
+            next_id = state.n
+            done = 0
+            for idx in order:
+                if done >= count:
+                    break
+                (u, v), c = items[int(idx)]
+                if u in used or v in used:
+                    continue
+                mid = next_id
+                next_id += 1
+                batch += [
+                    Mutation.add_vertex(mid, float(rng.uniform(0.5, 1.5))),
+                    Mutation.add(u, mid, c),
+                    Mutation.add(mid, v, c),
+                    Mutation.remove(u, v),
+                ]
+                splits.append((mid, u, v, c))
+                used.update((u, v))
+                done += 1
+        else:
+            done = 0
+            while splits and done < count:
+                mid, u, v, c = splits.pop(0)
+                # a later split may have consumed the bypass slot or the
+                # midpoint's edges; the collapse itself always preserves
+                # live connectivity (every split vertex keeps a non-midpoint
+                # edge), so only staleness needs checking
+                if not (state.alive[mid] and state.alive[u] and state.alive[v]):
+                    continue
+                if state.has_edge(u, v):
+                    continue
+                batch += [Mutation.remove_vertex(mid), Mutation.add(u, v, c)]
+                done += 1
+        live = np.flatnonzero(state.alive)
+        for _ in range(max(1, ops // 4)):
+            t = int(live[int(rng.integers(live.size))])
+            batch.append(Mutation.set_weight(t, float(rng.uniform(0.5, 2.0))))
+        state.apply(batch)
+        batches.append(batch)
+    return batches
+
+
+def _trace_arrival_departure(state: GraphState, steps: int, ops: int, seed: int, **params):
+    rng = _rng(seed)
+    attach = max(1, int(params.get("attach", 2)))
+    batches = []
+    settled: list[int] = []  # applied arrivals, FIFO departure candidates
+    warm = max(1, int(steps) // 3)
+    for step in range(int(steps)):
+        batch: list[Mutation] = []
+        g = state.graph()
+        arrivals = max(1, ops // 3)
+        # revive departed slots first (id reuse), then extend the index space
+        dead_pool = np.flatnonzero(~state.alive).tolist()
+        next_id = state.n
+        fresh: list[int] = []
+        for _ in range(arrivals):
+            if dead_pool:
+                vid = int(dead_pool.pop(0))
+            else:
+                vid = next_id
+                next_id += 1
+            batch.extend(_attach_batch(state, g, rng, vid, attach))
+            fresh.append(vid)
+        if step >= warm:
+            budget = max(1, ops // 4)
+            done = 0
+            j = 0
+            while done < budget and j < len(settled):
+                cand = settled[j]
+                if not state.alive[cand]:
+                    j += 1
+                    continue
+                trial = state.copy()
+                trial.apply(batch + [Mutation.remove_vertex(cand)])
+                if is_connected_within(trial.graph(), trial.alive):
+                    batch.append(Mutation.remove_vertex(cand))
+                    settled.pop(j)
+                    done += 1
+                else:
+                    j += 1
+        state.apply(batch)
+        settled.extend(fresh)
+        batches.append(batch)
+    return batches
+
+
 #: trace kind -> generator(state_copy, steps, ops, seed, **params)
 TRACES = {
     "random-churn": _trace_random_churn,
     "sliding-window": _trace_sliding_window,
     "hotspot": _trace_hotspot,
     "adversarial-cut": _trace_adversarial_cut,
+    "growth": _trace_growth,
+    "remesh": _trace_remesh,
+    "arrival-departure": _trace_arrival_departure,
 }
+
+#: the dynamic-vertex-set families (index-space growth); benches gate these
+#: separately from the fixed-vertex edge-churn families
+GROWTH_TRACES = ("growth", "remesh", "arrival-departure")
 
 
 def make_trace(

@@ -7,6 +7,9 @@ into the worker paths (see :func:`repro.service.sessions.maybe_fault`):
 * ``mutate:before`` — op received, state untouched (unacked, unjournaled);
 * ``mutate:after``  — state mutated, reply never sent (unacked: the journal
   must *not* contain the op, and retry-after-replay must apply it once);
+* ``mutate:grow``   — like ``mutate:after`` but only after a batch that
+  changed the vertex set (mid-``add_vertex``/``remove_vertex``): the crash
+  the dynamic-vertex-set journal replay must survive;
 * ``snapshot``      — between a journaled mutate and its snapshot;
 * ``restore``       — during journal replay itself (recovery of recovery);
 * ``open``          — session built but never acknowledged.
@@ -77,7 +80,8 @@ __all__ = [
 #: crash points the chaos script exercises; ``open`` exists too but is
 #: test-only (an unacknowledged open is never journaled, so it is reported
 #: lost rather than recovered — the client simply retries the open)
-KILL_POINTS = ("mutate:before", "mutate:after", "snapshot", "restore")
+KILL_POINTS = ("mutate:before", "mutate:after", "mutate:grow", "snapshot",
+               "restore")
 
 
 @contextlib.contextmanager
@@ -133,17 +137,24 @@ def kill_shard_workers(service: DecompositionService, shard: int) -> list[int]:
     return pids
 
 
-def stream_specs(steps: int) -> list[dict]:
-    """The streaming smoke grid as churn-session specs (one per trace kind),
-    with every trace budget stretched to serve ``steps`` mutates."""
+def stream_specs(steps: int, presets: tuple[str, ...] = ("stream", "growth")) -> list[dict]:
+    """The streaming smoke grids as churn-session specs (one per trace kind),
+    with every trace budget stretched to serve ``steps`` mutates.
+
+    ``presets`` defaults to both the edge-churn grid and the dynamic-vertex
+    grid, so every chaos/ring run covers sessions whose vertex set grows
+    mid-run.  Session ids follow list order: the ``stream`` cells are
+    ``churn-0``..``churn-3`` and the ``growth`` cells ``churn-4``..``churn-6``.
+    """
     from repro.cli import SWEEP_PRESETS
     from repro.runtime import ScenarioGrid
 
     specs = []
-    for scenario in ScenarioGrid(**SWEEP_PRESETS["stream"]).scenarios():
-        params = dict(scenario.param_dict)
-        params["steps"] = max(int(params.get("steps", 0)), int(steps))
-        specs.append(scenario.with_(params=params).spec())
+    for preset in presets:
+        for scenario in ScenarioGrid(**SWEEP_PRESETS[preset]).scenarios():
+            params = dict(scenario.param_dict)
+            params["steps"] = max(int(params.get("steps", 0)), int(steps))
+            specs.append(scenario.with_(params=params).spec())
     return specs
 
 

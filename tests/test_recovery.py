@@ -345,6 +345,39 @@ class TestInlineRecovery:
         assert not lost["ok"]
         assert stats["sessions"]["lost"] == 1 and stats["sessions"]["recovered"] == 0
 
+    def test_unknown_mutation_in_journal_is_typed_loss(self, tmp_path):
+        """Regression: a journal carrying a mutation kind this build does
+        not know (a newer build's growth op handed off mid-upgrade) must
+        surface the typed ``session lost: unknown mutation`` error — once,
+        without recovery retries — never a bare ``KeyError``."""
+
+        async def scenario(service, client):
+            await client.open_stream("s1", STREAM_SPEC)
+            await client.mutate("s1", mutations=[["weight", 0, 2.0]])
+            path = service.journal.path_for("s1")
+            lines = path.read_text().splitlines()
+            doc = json.loads(lines[1])
+            doc["mutations"] = [["teleport_vertex", 0]]  # a future build's kind
+            lines[1] = json.dumps(doc)
+            path.write_text("\n".join(lines) + "\n")
+            worker_sessions._SESSIONS.clear()
+            lost = await client.snapshot("s1")
+            retry = await client.snapshot("s1")
+            stats = await client.stats()
+            return lost, retry, stats["stats"]
+
+        lost, retry, stats = self.run_service(
+            scenario, journal_dir=tmp_path / "journals")
+        assert not lost["ok"]
+        assert lost["error"].startswith("session lost: unknown mutation")
+        assert "teleport_vertex" in lost["error"]
+        assert "KeyError" not in lost["error"]
+        assert stats["sessions"]["lost"] == 1 and stats["sessions"]["recovered"] == 0
+        # terminal: no recovery retries burned on an unfixable journal
+        assert stats["sessions"].get("recovery_retries", 0) == 0
+        # the session and its journal are gone; the id reads cleanly unknown
+        assert not retry["ok"] and "unknown session" in retry["error"]
+
     def test_journal_create_failure_fails_open_cleanly(self, tmp_path):
         """A full/readonly journal disk must fail the open — not wedge the
         session id with worker-side state and no journal behind it."""
